@@ -1,0 +1,75 @@
+// Ablation — Bloom digest size: the 3-step exchange of Algorithm 1 screens
+// candidates by digest before shipping any tagging action. Smaller digests
+// save digest bytes but raise the false-positive rate, paying step-2 traffic
+// for candidates that score zero; no screening at all (shipping profiles
+// straight away) is the paper's "overloading the system" strawman.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/p3q_system.h"
+#include "dataset/generator.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(600);
+  Banner("Ablation", "digest size: screening precision vs traffic", scale);
+
+  const SyntheticTrace trace = GenerateSyntheticTrace(
+      SyntheticConfig::DeliciousLike(scale.users), 27);
+  const DatasetStats stats = trace.dataset().ComputeStats();
+  const double mean_profile_bytes =
+      stats.mean_profile_length * kBytesPerTaggingAction;
+  const int cycles = static_cast<int>(GetEnvInt("P3Q_BENCH_CYCLES", 30));
+
+  TablePrinter table({"digest bits", "digest KB/u/cyc", "common-item KB/u/cyc",
+                      "profile KB/u/cyc", "total KB/u/cyc",
+                      "naive (no screen) KB/u/cyc"});
+  // The paper's 20 Kbit digest targets profiles of up to ~2000 items; the
+  // reduced-scale profiles are ~10x smaller, so the interesting régime
+  // (filter saturation -> false positives) sits at proportionally smaller
+  // sizes. The sweep covers saturated, balanced and oversized digests.
+  for (std::size_t bits : {128ul, 256ul, 512ul, 1024ul, 4096ul, 20480ul}) {
+    P3QConfig config;
+    config.network_size = scale.network_size;
+    config.stored_profiles = std::max(1, scale.network_size / 10);
+    config.digest_bits = bits;
+    P3QSystem system(trace.dataset(), config, {}, 29);
+    system.BootstrapRandomViews();
+    system.RunLazyCycles(static_cast<std::uint64_t>(cycles));
+
+    const Metrics& m = system.metrics();
+    const double denom = static_cast<double>(scale.users) * cycles * 1024.0;
+    const double digest_kb =
+        static_cast<double>(m.Of(MessageType::kLazyDigestProposal).bytes) /
+        denom;
+    const double common_kb =
+        static_cast<double>(m.Of(MessageType::kLazyCommonItems).bytes) / denom;
+    const double profile_kb =
+        static_cast<double>(m.Of(MessageType::kLazyFullProfile).bytes +
+                            m.Of(MessageType::kDirectProfileFetch).bytes) /
+        denom;
+    // The naive alternative: every proposed digest would instead be the full
+    // profile. Number of proposed digests = digest bytes / per-digest size.
+    const double digests_sent =
+        static_cast<double>(m.Of(MessageType::kLazyDigestProposal).bytes) /
+        static_cast<double>(bits / 8 + kBytesPerUserId);
+    const double naive_kb = digests_sent * mean_profile_bytes / denom;
+    table.AddRow({TablePrinter::Fmt(bits), TablePrinter::Fmt(digest_kb, 2),
+                  TablePrinter::Fmt(common_kb, 2),
+                  TablePrinter::Fmt(profile_kb, 2),
+                  TablePrinter::Fmt(digest_kb + common_kb + profile_kb, 2),
+                  TablePrinter::Fmt(naive_kb, 2)});
+    std::cerr << "  [ablation-digest] bits=" << bits << " done\n";
+  }
+  Emit(table, scale);
+  PaperNote(
+      "the 20 Kbit digest of the paper sits near the sweet spot: far below "
+      "shipping whole profiles, while small digests inflate step-2 traffic "
+      "through false positives and very large ones pay more for the digests "
+      "than they save.");
+  return 0;
+}

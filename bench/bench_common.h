@@ -1,0 +1,70 @@
+// Shared plumbing for the per-figure/table bench binaries.
+//
+// Each bench regenerates one table or figure of the paper. The paper runs
+// 10,000 delicious users with personal networks of s = 1000 and stored-
+// profile counts c in {10, 20, 50, 100, 200, 500, 1000}; benches default to
+// a reduced scale with the same c/s ratios and print both the paper's c and
+// the scaled c. Environment knobs:
+//   P3Q_BENCH_USERS=<n>  population size (default per bench)
+//   P3Q_BENCH_FULL=1     paper scale (10,000 users, s=1000)
+//   P3Q_BENCH_CSV=1      also emit CSV after each table
+#ifndef P3Q_BENCH_BENCH_COMMON_H_
+#define P3Q_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/table_printer.h"
+#include "dataset/storage_dist.h"
+
+namespace p3q::bench {
+
+/// Prints the bench banner: what paper artifact this regenerates and at
+/// which scale.
+inline void Banner(const std::string& figure, const std::string& what,
+                   const BenchScale& scale) {
+  std::cout << "=== P3Q reproduction: " << figure << " — " << what << " ===\n"
+            << "scale: " << scale.users << " users, s=" << scale.network_size
+            << (scale.full ? " (paper scale)" : " (reduced; P3Q_BENCH_FULL=1 for paper scale)")
+            << "\n\n";
+}
+
+/// Renders a table, optionally followed by its CSV form.
+inline void Emit(const TablePrinter& table, const BenchScale& scale) {
+  table.Print(std::cout);
+  if (scale.csv) {
+    std::cout << "\ncsv:\n";
+    table.PrintCsv(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// The paper's c buckets mapped to the bench scale (c_paper * s / 1000),
+/// deduplicated and floored at 1.
+inline std::vector<std::pair<int, int>> ScaledStorageBuckets(
+    const BenchScale& scale) {
+  std::vector<std::pair<int, int>> out;  // (paper c, scaled c)
+  const double factor = static_cast<double>(scale.network_size) / 1000.0;
+  int last = -1;
+  for (int c : kStorageBuckets) {
+    int scaled = static_cast<int>(c * factor + 0.5);
+    if (scaled < 1) scaled = 1;
+    if (scaled > scale.network_size) scaled = scale.network_size;
+    if (scaled == last) continue;
+    out.emplace_back(c, scaled);
+    last = scaled;
+  }
+  return out;
+}
+
+/// A short reminder of the paper's reported shape for this experiment,
+/// printed under the measured table so the comparison is one glance.
+inline void PaperNote(const std::string& note) {
+  std::cout << "paper: " << note << "\n\n";
+}
+
+}  // namespace p3q::bench
+
+#endif  // P3Q_BENCH_BENCH_COMMON_H_

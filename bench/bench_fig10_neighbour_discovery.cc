@@ -1,0 +1,63 @@
+// Figure 10 — "Personal network evolution in lazy mode": after profile
+// changes alter the ideal personal networks, how fast users discover *all*
+// their new neighbours (a strict metric: one missing neighbour counts as
+// not done).
+#include <iostream>
+
+#include "bench_common.h"
+#include "baseline/ideal_network.h"
+#include "eval/experiment.h"
+#include "eval/metrics_eval.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 10", "complete new-neighbour discovery after profile changes",
+         scale);
+  const int cycles = static_cast<int>(GetEnvInt("P3Q_BENCH_CYCLES",
+                                                scale.full ? 250 : 100));
+  const int step = cycles / 10 > 0 ? cycles / 10 : 1;
+  const ExperimentEnv env(scale.users, scale.network_size, 10);
+
+  TablePrinter table({"cycle", "lambda=1 %", "lambda=4 %"});
+  std::vector<std::vector<double>> series;
+  for (double lambda : {1.0, 4.0}) {
+    Rng rng(static_cast<std::uint64_t>(lambda) * 1000 + 47);
+    const StorageDistribution dist = StorageDistribution::TruncatedPoisson(
+        lambda, scale.network_size / 1000.0);
+    P3QConfig config;
+    auto system = env.MakeSeededSystem(
+        config, dist.AssignAll(static_cast<std::size_t>(scale.users), &rng));
+
+    const UpdateBatch batch = env.trace().MakeUpdateBatch(UpdateConfig{}, &rng);
+    system->ApplyUpdateBatch(batch);
+    const IdealNetworks after =
+        ComputeIdealNetworks(system->profile_store(), scale.network_size);
+
+    std::vector<double> curve;
+    curve.push_back(
+        100.0 * FractionWithCompleteNewNetwork(*system, env.ideal(), after));
+    for (int done = 0; done < cycles; done += step) {
+      system->RunLazyCycles(static_cast<std::uint64_t>(step));
+      curve.push_back(
+          100.0 * FractionWithCompleteNewNetwork(*system, env.ideal(), after));
+    }
+    series.push_back(std::move(curve));
+    std::cerr << "  [fig10] lambda=" << lambda << " done\n";
+  }
+  for (std::size_t row = 0; row < series[0].size(); ++row) {
+    table.AddRow({TablePrinter::Fmt(static_cast<int>(row) * step),
+                  TablePrinter::Fmt(series[0][row], 1),
+                  TablePrinter::Fmt(series[1][row], 1)});
+  }
+  Emit(table, scale);
+  PaperNote(
+      "half of the affected users have discovered all their new neighbours "
+      "after ~30 cycles and ~80% by cycle 100, in both storage scenarios — "
+      "expect the same fast-then-flattening climb.");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 11 — "Impact of user departure on top-k": a fraction p of users
+// leaves simultaneously; queries from survivors keep harvesting replicas.
+// (a)/(b): recall vs cycles per departure rate for λ=1 and λ=4;
+// (c): share of queries unable to reach recall 1.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+
+namespace {
+
+struct ChurnResult {
+  std::vector<double> recall_curve;
+  double pct_incomplete = 0;
+};
+
+ChurnResult RunScenario(const ExperimentEnv& env, const BenchScale& scale,
+                        double lambda, double departure, int num_queries,
+                        bool absolute_storage) {
+  Rng rng(static_cast<std::uint64_t>(lambda * 10 + departure * 100) + 53);
+  // Panels (a)/(b) use ratio-scaled storage like the other figures; panel
+  // (c) measures *replication redundancy*, which depends on the absolute
+  // replica counts, so it keeps the paper's c values (clamped to s).
+  const StorageDistribution dist = StorageDistribution::TruncatedPoisson(
+      lambda, absolute_storage ? 1.0 : scale.network_size / 1000.0);
+  P3QConfig config;
+  auto system = env.MakeSeededSystem(
+      config, dist.AssignAll(static_cast<std::size_t>(scale.users), &rng));
+  if (departure > 0) system->FailRandomFraction(departure);
+
+  // Queries come from surviving users only.
+  std::vector<QuerySpec> queries;
+  for (const QuerySpec& q : env.queries()) {
+    if (system->network().IsOnline(q.querier)) queries.push_back(q);
+    if (queries.size() >= static_cast<std::size_t>(num_queries)) break;
+  }
+  const int cycles = 10;
+  ChurnResult result;
+  result.recall_curve = AverageRecallCurve(system.get(), queries, cycles);
+
+  // Fig 11(c): run the same queries again and count those that cannot reach
+  // recall 1 (their personal network contains profiles gone from the
+  // system). RunQueryBatch reports final recall after `cycles` cycles; use
+  // a long horizon so only genuinely stuck queries count.
+  const std::vector<QueryRunStats> stats =
+      RunQueryBatch(system.get(), queries, 30);
+  std::size_t incomplete = 0;
+  for (const QueryRunStats& s : stats) {
+    if (s.final_recall < 1.0) ++incomplete;
+  }
+  result.pct_incomplete =
+      100.0 * static_cast<double>(incomplete) / static_cast<double>(stats.size());
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 11", "impact of massive user departures", scale);
+  const ExperimentEnv env(scale.users, scale.network_size, 11);
+  const int num_queries =
+      static_cast<int>(GetEnvInt("P3Q_BENCH_QUERIES", scale.full ? 200 : 80));
+
+  const double departures[] = {0.0, 0.1, 0.3, 0.5, 0.7, 0.9};
+  TablePrinter incomplete({"p departure", "lambda=1 % stuck", "lambda=4 % stuck"});
+  std::vector<std::vector<double>> stuck(2);
+
+  for (int li = 0; li < 2; ++li) {
+    const double lambda = li == 0 ? 1.0 : 4.0;
+    std::vector<std::string> headers{"cycle"};
+    std::vector<std::vector<double>> series;
+    for (double p : departures) {
+      headers.push_back("p=" + TablePrinter::Fmt(100.0 * p, 0) + "%");
+      const ChurnResult r = RunScenario(env, scale, lambda, p, num_queries,
+                                        /*absolute_storage=*/false);
+      series.push_back(r.recall_curve);
+      const ChurnResult abs = RunScenario(env, scale, lambda, p, num_queries,
+                                          /*absolute_storage=*/true);
+      stuck[static_cast<std::size_t>(li)].push_back(abs.pct_incomplete);
+      std::cerr << "  [fig11] lambda=" << lambda << " p=" << p << " done\n";
+    }
+    TablePrinter table(headers);
+    for (std::size_t cycle = 0; cycle < series[0].size(); ++cycle) {
+      std::vector<std::string> cells{TablePrinter::Fmt(cycle)};
+      for (const auto& curve : series) {
+        cells.push_back(TablePrinter::Fmt(curve[cycle]));
+      }
+      table.AddRow(std::move(cells));
+    }
+    std::cout << "(" << (li == 0 ? "a" : "b") << ") average recall evolution, "
+              << "lambda=" << lambda << "\n";
+    Emit(table, scale);
+  }
+
+  for (std::size_t i = 0; i < std::size(departures); ++i) {
+    incomplete.AddRow({TablePrinter::Fmt(100.0 * departures[i], 0) + "%",
+                       TablePrinter::Fmt(stuck[0][i], 1) + "%",
+                       TablePrinter::Fmt(stuck[1][i], 1) + "%"});
+  }
+  std::cout << "(c) queries unable to reach recall 1\n";
+  Emit(incomplete, scale);
+  PaperNote(
+      "recall climbs more slowly as p grows, yet even at p=90% about 8 of 10 "
+      "relevant items are returned by cycle 10 (lambda=1) and more with "
+      "lambda=4's extra replicas; at p=50% under lambda=4 fewer than 5% of "
+      "queries are permanently stuck below recall 1.");
+  return 0;
+}

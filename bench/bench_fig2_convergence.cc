@@ -1,0 +1,58 @@
+// Figure 2 — "Convergence speed": average success ratio of gossip-built
+// personal networks vs lazy cycles, for each uniform storage capability c.
+// More stored profiles -> richer gossip proposals -> faster convergence.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "eval/metrics_eval.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+using bench::ScaledStorageBuckets;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 2", "personal-network convergence in lazy mode", scale);
+
+  const int cycles = static_cast<int>(GetEnvInt("P3Q_BENCH_CYCLES",
+                                                scale.full ? 500 : 120));
+  const int step = cycles / 12 > 0 ? cycles / 12 : 1;
+  const ExperimentEnv env(scale.users, scale.network_size, 2);
+
+  std::vector<std::string> headers{"cycle"};
+  std::vector<std::vector<double>> series;
+  std::vector<int> checkpoints;
+  for (const auto& [paper_c, c] : ScaledStorageBuckets(scale)) {
+    headers.push_back("c=" + std::to_string(paper_c) + " (" +
+                      std::to_string(c) + ")");
+    P3QConfig config;
+    config.stored_profiles = c;
+    auto system = env.MakeColdSystem(config, {});
+    std::vector<double> curve;
+    curve.push_back(AverageSuccessRatio(*system, env.ideal()));
+    for (int done = 0; done < cycles; done += step) {
+      system->RunLazyCycles(static_cast<std::uint64_t>(step));
+      curve.push_back(AverageSuccessRatio(*system, env.ideal()));
+    }
+    series.push_back(std::move(curve));
+    std::cerr << "  [fig2] c=" << c << " done\n";
+  }
+  checkpoints.push_back(0);
+  for (int done = 0; done < cycles; done += step) checkpoints.push_back(done + step);
+
+  TablePrinter table(headers);
+  for (std::size_t row = 0; row < checkpoints.size(); ++row) {
+    std::vector<std::string> cells{TablePrinter::Fmt(checkpoints[row])};
+    for (const auto& curve : series) cells.push_back(TablePrinter::Fmt(curve[row]));
+    table.AddRow(std::move(cells));
+  }
+  Emit(table, scale);
+  PaperNote(
+      "larger c converges faster; with ample storage ~50 cycles reach >90% "
+      "of the ideal networks, while c=10 still exceeds 68% by cycle 200. "
+      "Expect the same ordering and saturation shape here.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 3 — "Average recall evolution with different α" (smallest storage):
+// the remaining-list split parameter α governs how fast the top-k converges;
+// α = 0.5 is optimal (Theorem 2.2), the extremes α=0 (chain routing) and
+// α=1 (querier asks one neighbour at a time) are slowest.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 3", "recall vs cycles for the alpha sweep (smallest c)",
+         scale);
+
+  const int cycles = 20;
+  // Paper: c=10 at s=1000; keep the 1% ratio (>=1).
+  const int c = std::max(1, scale.network_size / 100);
+  const int num_queries =
+      static_cast<int>(GetEnvInt("P3Q_BENCH_QUERIES", scale.full ? 300 : 150));
+  const ExperimentEnv env(scale.users, scale.network_size, 3);
+  const std::vector<QuerySpec> queries =
+      env.SampleQueries(static_cast<std::size_t>(num_queries));
+
+  const double alphas[] = {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  std::vector<std::string> headers{"cycle"};
+  std::vector<std::vector<double>> series;
+  for (double alpha : alphas) {
+    headers.push_back("a=" + TablePrinter::Fmt(alpha, 1));
+    P3QConfig config;
+    config.stored_profiles = c;
+    config.alpha = alpha;
+    auto system = env.MakeSeededSystem(config, {});
+    series.push_back(AverageRecallCurve(system.get(), queries, cycles));
+    std::cerr << "  [fig3] alpha=" << alpha << " done\n";
+  }
+
+  TablePrinter table(headers);
+  for (int cycle = 0; cycle <= cycles; ++cycle) {
+    std::vector<std::string> cells{TablePrinter::Fmt(cycle)};
+    for (const auto& curve : series) {
+      cells.push_back(TablePrinter::Fmt(curve[static_cast<std::size_t>(cycle)]));
+    }
+    table.AddRow(std::move(cells));
+  }
+  Emit(table, scale);
+  PaperNote(
+      "alpha=0.5 reaches recall 1 fastest; the closer alpha is to 0.5 the "
+      "faster the curve climbs; alpha=0 and alpha=1 are the two slowest, "
+      "near-linear curves. Cycle-0 recall (local processing only) is already "
+      "well above 0.4 with the smallest storage.");
+  return 0;
+}

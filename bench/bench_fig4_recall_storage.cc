@@ -1,0 +1,56 @@
+// Figure 4 — "Average recall evolution with different c" (α = 0.5): more
+// stored profiles give a better cycle-0 result and faster convergence; all
+// curves reach recall 1 within ~10 cycles.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+using bench::ScaledStorageBuckets;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 4", "recall vs cycles for the storage sweep (alpha=0.5)",
+         scale);
+
+  const int cycles = 10;
+  const int num_queries =
+      static_cast<int>(GetEnvInt("P3Q_BENCH_QUERIES", scale.full ? 300 : 150));
+  const ExperimentEnv env(scale.users, scale.network_size, 4);
+  const std::vector<QuerySpec> queries =
+      env.SampleQueries(static_cast<std::size_t>(num_queries));
+
+  std::vector<std::string> headers{"cycle"};
+  std::vector<std::vector<double>> series;
+  auto buckets = ScaledStorageBuckets(scale);
+  if (!buckets.empty() && buckets.back().second >= scale.network_size) {
+    buckets.pop_back();  // paper's Fig. 4 stops at c=500 (c=s is trivial)
+  }
+  for (const auto& [paper_c, c] : buckets) {
+    headers.push_back("c=" + std::to_string(paper_c) + " (" +
+                      std::to_string(c) + ")");
+    P3QConfig config;
+    config.stored_profiles = c;
+    auto system = env.MakeSeededSystem(config, {});
+    series.push_back(AverageRecallCurve(system.get(), queries, cycles));
+    std::cerr << "  [fig4] c=" << c << " done\n";
+  }
+
+  TablePrinter table(headers);
+  for (int cycle = 0; cycle <= cycles; ++cycle) {
+    std::vector<std::string> cells{TablePrinter::Fmt(cycle)};
+    for (const auto& curve : series) {
+      cells.push_back(TablePrinter::Fmt(curve[static_cast<std::size_t>(cycle)]));
+    }
+    table.AddRow(std::move(cells));
+  }
+  Emit(table, scale);
+  PaperNote(
+      "all storage levels reach recall 1 by cycle 10; the first cycle brings "
+      "the largest improvement; bigger c starts higher and converges sooner.");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7 — "AUR evolution in lazy mode": after a simultaneous update
+// batch, how fast replicas refresh through lazy gossip. (a) uniform c:
+// small storage stays fresh easily, big storage lags; (b) heterogeneous
+// λ=1 vs λ=4.
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "eval/metrics_eval.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+using bench::ScaledStorageBuckets;
+
+namespace {
+
+std::vector<double> AurCurve(P3QSystem* system,
+                             const std::unordered_set<UserId>& changed,
+                             int cycles, int step) {
+  std::vector<double> curve;
+  curve.push_back(AverageUpdateRate(*system, changed));
+  for (int done = 0; done < cycles; done += step) {
+    system->RunLazyCycles(static_cast<std::uint64_t>(step));
+    curve.push_back(AverageUpdateRate(*system, changed));
+  }
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(800);
+  Banner("Figure 7", "average update rate in lazy mode", scale);
+
+  const int cycles = static_cast<int>(GetEnvInt("P3Q_BENCH_CYCLES", 100));
+  const int step = cycles / 10 > 0 ? cycles / 10 : 1;
+  const ExperimentEnv env(scale.users, scale.network_size, 7);
+
+  // (a) uniform storage sweep.
+  std::vector<std::string> headers{"cycle"};
+  std::vector<std::vector<double>> series;
+  for (const auto& [paper_c, c] : ScaledStorageBuckets(scale)) {
+    headers.push_back("c=" + std::to_string(paper_c) + " (" +
+                      std::to_string(c) + ")");
+    P3QConfig config;
+    config.stored_profiles = c;
+    auto system = env.MakeSeededSystem(config, {});
+    Rng rng(31);
+    const UpdateBatch batch = env.trace().MakeUpdateBatch(UpdateConfig{}, &rng);
+    system->ApplyUpdateBatch(batch);
+    series.push_back(AurCurve(system.get(), ChangedUsers(batch), cycles, step));
+    std::cerr << "  [fig7a] c=" << c << " done\n";
+  }
+  TablePrinter uniform(headers);
+  for (std::size_t row = 0; row < series[0].size(); ++row) {
+    std::vector<std::string> cells{
+        TablePrinter::Fmt(static_cast<int>(row) * step)};
+    for (const auto& curve : series) cells.push_back(TablePrinter::Fmt(curve[row]));
+    uniform.AddRow(std::move(cells));
+  }
+  std::cout << "(a) uniform c\n";
+  Emit(uniform, scale);
+
+  // (b) heterogeneous distributions.
+  TablePrinter hetero({"cycle", "lambda=1", "lambda=4"});
+  std::vector<std::vector<double>> hseries;
+  for (double lambda : {1.0, 4.0}) {
+    Rng rng(37);
+    const StorageDistribution dist = StorageDistribution::TruncatedPoisson(
+        lambda, scale.network_size / 1000.0);
+    P3QConfig config;
+    auto system = env.MakeSeededSystem(
+        config, dist.AssignAll(static_cast<std::size_t>(scale.users), &rng));
+    const UpdateBatch batch = env.trace().MakeUpdateBatch(UpdateConfig{}, &rng);
+    system->ApplyUpdateBatch(batch);
+    hseries.push_back(AurCurve(system.get(), ChangedUsers(batch), cycles, step));
+    std::cerr << "  [fig7b] lambda=" << lambda << " done\n";
+  }
+  for (std::size_t row = 0; row < hseries[0].size(); ++row) {
+    hetero.AddRow({TablePrinter::Fmt(static_cast<int>(row) * step),
+                   TablePrinter::Fmt(hseries[0][row]),
+                   TablePrinter::Fmt(hseries[1][row])});
+  }
+  std::cout << "(b) heterogeneous c\n";
+  Emit(hetero, scale);
+  PaperNote(
+      "small storage keeps replicas fresh: c=10/20 exceed 95% AUR within 30 "
+      "cycles while c=500/1000 stay below ~40% after 100 cycles; lambda=1 "
+      "(mostly weak devices) refreshes faster than lambda=4.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 8 — "Number of users reached by a query": how many users the eager
+// gossip touches per query under the heterogeneous storage distributions.
+// Rich storage (λ=4) answers from fewer users.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(1000);
+  Banner("Figure 8", "users reached per query (lambda=1 vs lambda=4)", scale);
+  const ExperimentEnv env(scale.users, scale.network_size, 8);
+  const int num_queries =
+      static_cast<int>(GetEnvInt("P3Q_BENCH_QUERIES", scale.full ? 300 : 150));
+
+  TablePrinter table({"query pctile", "lambda=1", "lambda=4"});
+  std::vector<std::vector<std::size_t>> reach;
+  std::vector<double> averages;
+  for (double lambda : {1.0, 4.0}) {
+    Rng rng(static_cast<std::uint64_t>(lambda) * 100 + 3);
+    const StorageDistribution dist = StorageDistribution::TruncatedPoisson(
+        lambda, scale.network_size / 1000.0);
+    P3QConfig config;
+    auto system = env.MakeSeededSystem(
+        config, dist.AssignAll(static_cast<std::size_t>(scale.users), &rng));
+    const std::vector<QueryRunStats> stats = RunQueryBatch(
+        system.get(), env.SampleQueries(static_cast<std::size_t>(num_queries)),
+        25);
+    std::vector<std::size_t> reached;
+    double sum = 0;
+    for (const QueryRunStats& s : stats) {
+      reached.push_back(s.users_reached);
+      sum += static_cast<double>(s.users_reached);
+    }
+    std::sort(reached.begin(), reached.end(), std::greater<>());
+    reach.push_back(std::move(reached));
+    averages.push_back(sum / static_cast<double>(stats.size()));
+    std::cerr << "  [fig8] lambda=" << lambda << " done\n";
+  }
+  for (int pct : {0, 10, 25, 50, 75, 100}) {
+    std::vector<std::string> cells{TablePrinter::Fmt(pct) + "%"};
+    for (const auto& reached : reach) {
+      const std::size_t idx = std::min(
+          reached.size() - 1,
+          static_cast<std::size_t>(pct / 100.0 * (reached.size() - 1) + 0.5));
+      cells.push_back(TablePrinter::Fmt(reached[idx]));
+    }
+    table.AddRow(std::move(cells));
+  }
+  Emit(table, scale);
+  std::cout << "average users reached: lambda=1 " << averages[0]
+            << ", lambda=4 " << averages[1] << "\n";
+  PaperNote(
+      "queries reach far fewer users when storage is plentiful: 256 on "
+      "average for lambda=1 vs 75 for lambda=4 at paper scale — expect the "
+      "same ~3x gap and a long-tailed distribution across queries.");
+  return 0;
+}

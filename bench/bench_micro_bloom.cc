@@ -1,0 +1,62 @@
+// Micro benchmarks: Bloom digest construction, insertion and membership —
+// the cost screened on every gossip proposal.
+#include <benchmark/benchmark.h>
+
+#include "bloom/bloom_filter.h"
+#include "common/random.h"
+
+namespace {
+
+void BM_BloomInsert(benchmark::State& state) {
+  p3q::BloomFilter filter(p3q::kDefaultDigestBits, 10);
+  p3q::Rng rng(1);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    filter.Insert(key += 0x9e3779b97f4a7c15ULL);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomInsert);
+
+void BM_BloomMayContainHit(benchmark::State& state) {
+  p3q::BloomFilter filter(p3q::kDefaultDigestBits, 10);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) filter.Insert(static_cast<std::uint64_t>(i));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(i++ % n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomMayContainHit)->Arg(249)->Arg(2000);
+
+void BM_BloomMayContainMiss(benchmark::State& state) {
+  p3q::BloomFilter filter(p3q::kDefaultDigestBits, 10);
+  const int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) filter.Insert(static_cast<std::uint64_t>(i));
+  std::uint64_t key = 1ull << 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MayContain(key++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomMayContainMiss)->Arg(249)->Arg(2000);
+
+void BM_MakeItemDigest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  p3q::Rng rng(2);
+  std::vector<p3q::ActionKey> actions;
+  for (int i = 0; i < n; ++i) {
+    actions.push_back(p3q::MakeAction(static_cast<p3q::ItemId>(i / 4),
+                                      static_cast<p3q::TagId>(i % 4)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p3q::MakeItemDigest(actions));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MakeItemDigest)->Arg(256)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table 2 — "Influence of profile changes in different systems": after the
+// paper's chosen update day (15.4% of users change, avg 8 / max 268 new
+// actions), how many stored replicas each user must refresh, per uniform c.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/experiment.h"
+#include "eval/metrics_eval.h"
+
+using namespace p3q;
+using bench::Banner;
+using bench::Emit;
+using bench::PaperNote;
+using bench::ScaledStorageBuckets;
+
+int main() {
+  const BenchScale scale = ResolveBenchScale(1000);
+  Banner("Table 2", "influence of profile changes for uniform storage", scale);
+
+  const ExperimentEnv env(scale.users, scale.network_size, 1);
+  Rng rng(11);
+  const UpdateBatch batch = env.trace().MakeUpdateBatch(UpdateConfig{}, &rng);
+  const auto changed = ChangedUsers(batch);
+  std::cout << "update batch: " << batch.NumChangedUsers()
+            << " users changed (avg " << batch.MeanNewActions() << ", max "
+            << batch.MaxNewActions() << " new actions)\n\n";
+
+  TablePrinter table({"c (paper)", "c (scaled)", "% users updating",
+                      "avg profiles", "max profiles"});
+  for (const auto& [paper_c, c] : ScaledStorageBuckets(scale)) {
+    P3QConfig config;
+    config.stored_profiles = c;
+    auto system = env.MakeSeededSystem(config, {});
+    const std::vector<std::size_t> counts =
+        ProfilesToUpdatePerUser(*system, changed);
+    std::size_t with_updates = 0, total = 0, max = 0;
+    for (std::size_t n : counts) {
+      if (n > 0) ++with_updates;
+      total += n;
+      max = std::max(max, n);
+    }
+    const double pct =
+        100.0 * static_cast<double>(with_updates) / static_cast<double>(counts.size());
+    const double avg = with_updates == 0
+                           ? 0.0
+                           : static_cast<double>(total) /
+                                 static_cast<double>(with_updates);
+    table.AddRow({TablePrinter::Fmt(paper_c), TablePrinter::Fmt(c),
+                  TablePrinter::Fmt(pct, 1) + "%", TablePrinter::Fmt(avg, 1),
+                  TablePrinter::Fmt(max)});
+  }
+  Emit(table, scale);
+  PaperNote(
+      "80.9-88.2% of users must update; avg profiles to update grows from 4 "
+      "(c=10) to 105 (c=1000), max from 10 to 388 — % saturates quickly with "
+      "c while the per-user burden keeps growing.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "baseline/centralized_topk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace p3q {
+
+std::vector<std::pair<ItemId, std::uint64_t>> CentralizedTopK(
+    const std::vector<ProfilePtr>& profiles, const std::vector<TagId>& tags,
+    int k) {
+  std::unordered_map<ItemId, std::uint64_t> scores;
+  for (const ProfilePtr& profile : profiles) {
+    for (const auto& [item, score] : profile->ScoreQuery(tags)) {
+      scores[item] += score;
+    }
+  }
+  std::vector<std::pair<ItemId, std::uint64_t>> ranked(scores.begin(),
+                                                       scores.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > static_cast<std::size_t>(k)) {
+    ranked.resize(static_cast<std::size_t>(k));
+  }
+  return ranked;
+}
+
+std::vector<ItemId> ReferenceTopK(const P3QSystem& system,
+                                  const QuerySpec& spec, int k) {
+  const P3QNode& querier = system.node(spec.querier);
+  std::vector<ProfilePtr> profiles;
+  profiles.reserve(querier.network().size());
+  for (const NetworkEntry& e : querier.network().entries()) {
+    profiles.push_back(system.profile_store().Get(e.user));
+  }
+  std::vector<ItemId> items;
+  for (const auto& [item, score] : CentralizedTopK(profiles, spec.tags, k)) {
+    items.push_back(item);
+  }
+  return items;
+}
+
+}  // namespace p3q

@@ -1,0 +1,37 @@
+// Centralized exact top-k: the reference the recall metric compares against.
+//
+// Section 3.2.2: "we run a top-10 processing in a centralized
+// implementation of our protocol and take the 10 returned items for each
+// query as relevant items". The centralized implementation scores every
+// item against all profiles of the querier's personal network at once
+// (always-fresh snapshots, no gossip), i.e. the exact
+//   Score(Q, i) = Σ_{u ∈ Network(querier)} |{t ∈ Q : Tagged_u(i, t)}|.
+#ifndef P3Q_BASELINE_CENTRALIZED_TOPK_H_
+#define P3Q_BASELINE_CENTRALIZED_TOPK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/p3q_system.h"
+#include "dataset/query_gen.h"
+#include "profile/profile.h"
+
+namespace p3q {
+
+/// Exact scores of every item with positive relevance over the given
+/// profiles, ranked by (score desc, item asc), truncated to k.
+std::vector<std::pair<ItemId, std::uint64_t>> CentralizedTopK(
+    const std::vector<ProfilePtr>& profiles, const std::vector<TagId>& tags,
+    int k);
+
+/// The relevant-item set for a query in a running system: exact top-k over
+/// the querier's current personal-network membership, using the freshest
+/// profile snapshots (what a centralized server would compute).
+std::vector<ItemId> ReferenceTopK(const P3QSystem& system, const QuerySpec& spec,
+                                  int k);
+
+}  // namespace p3q
+
+#endif  // P3Q_BASELINE_CENTRALIZED_TOPK_H_

@@ -1,0 +1,74 @@
+#include "baseline/ideal_network.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace p3q {
+namespace {
+
+/// Shared kernel: per-user top-s similarity lists from per-user action sets.
+IdealNetworks ComputeFromActions(
+    const std::vector<const std::vector<ActionKey>*>& actions,
+    int network_size, SimilarityMetric metric) {
+  const std::size_t num_users = actions.size();
+
+  // Inverted index: action -> users having it. Postings end up sorted by
+  // user id because users are appended in id order.
+  std::unordered_map<ActionKey, std::vector<std::uint32_t>> postings;
+  for (std::uint32_t u = 0; u < num_users; ++u) {
+    for (ActionKey a : *actions[u]) postings[a].push_back(u);
+  }
+
+  IdealNetworks ideal(num_users);
+  std::vector<std::uint32_t> counts(num_users, 0);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t u = 0; u < num_users; ++u) {
+    touched.clear();
+    for (ActionKey a : *actions[u]) {
+      for (std::uint32_t v : postings[a]) {
+        if (v == u) continue;
+        if (counts[v]++ == 0) touched.push_back(v);
+      }
+    }
+    auto& list = ideal[u];
+    list.reserve(touched.size());
+    for (std::uint32_t v : touched) {
+      const std::uint64_t score = SimilarityScore(
+          metric, counts[v], actions[u]->size(), actions[v]->size());
+      if (score > 0) list.emplace_back(v, score);
+      counts[v] = 0;
+    }
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (list.size() > static_cast<std::size_t>(network_size)) {
+      list.resize(static_cast<std::size_t>(network_size));
+    }
+  }
+  return ideal;
+}
+
+}  // namespace
+
+IdealNetworks ComputeIdealNetworks(const Dataset& dataset, int network_size,
+                                   SimilarityMetric metric) {
+  std::vector<const std::vector<ActionKey>*> actions;
+  actions.reserve(dataset.NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
+    actions.push_back(&dataset.ActionsOf(u));
+  }
+  return ComputeFromActions(actions, network_size, metric);
+}
+
+IdealNetworks ComputeIdealNetworks(const ProfileStore& store, int network_size,
+                                   SimilarityMetric metric) {
+  std::vector<const std::vector<ActionKey>*> actions;
+  actions.reserve(store.NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(store.NumUsers()); ++u) {
+    actions.push_back(&store.Get(u)->actions());
+  }
+  return ComputeFromActions(actions, network_size, metric);
+}
+
+}  // namespace p3q

@@ -1,0 +1,41 @@
+// Offline ideal personal networks (the evaluation's reference structure).
+//
+// The success-ratio metric of Figure 2 compares every user's gossip-built
+// personal network against "the ideal one obtained off-line using the
+// global information about all users' profiles": the s users with the
+// highest similarity scores. This module computes those lists exactly with
+// an inverted index over tagging actions (far cheaper than the naive
+// all-pairs intersection for long-tailed traces).
+#ifndef P3Q_BASELINE_IDEAL_NETWORK_H_
+#define P3Q_BASELINE_IDEAL_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "dataset/dataset.h"
+#include "profile/profile_store.h"
+#include "profile/similarity.h"
+
+namespace p3q {
+
+/// Per user, her ideal neighbours as (user, score), score descending (ties:
+/// ascending id), truncated to the s best, scores always positive.
+using IdealNetworks = std::vector<std::vector<std::pair<UserId, std::uint64_t>>>;
+
+/// Computes ideal networks from the dataset's version-0 profiles, under the
+/// given similarity metric.
+IdealNetworks ComputeIdealNetworks(
+    const Dataset& dataset, int network_size,
+    SimilarityMetric metric = SimilarityMetric::kCommonActions);
+
+/// Computes ideal networks from the *current* snapshots of a profile store
+/// (used after update batches, Figure 10).
+IdealNetworks ComputeIdealNetworks(
+    const ProfileStore& store, int network_size,
+    SimilarityMetric metric = SimilarityMetric::kCommonActions);
+
+}  // namespace p3q
+
+#endif  // P3Q_BASELINE_IDEAL_NETWORK_H_

@@ -1,0 +1,35 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace p3q {
+
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+bool GetEnvBool(const std::string& name, bool fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  const std::string v(raw);
+  return !(v == "0" || v == "false" || v == "FALSE" || v == "off");
+}
+
+BenchScale ResolveBenchScale(int default_users) {
+  BenchScale scale;
+  scale.full = GetEnvBool("P3Q_BENCH_FULL");
+  scale.csv = GetEnvBool("P3Q_BENCH_CSV");
+  const int users = static_cast<int>(
+      GetEnvInt("P3Q_BENCH_USERS", scale.full ? 10000 : default_users));
+  scale.users = users < 20 ? 20 : users;
+  scale.network_size = scale.users / 10;
+  if (scale.network_size < 10) scale.network_size = 10;
+  return scale;
+}
+
+}  // namespace p3q

@@ -1,0 +1,41 @@
+// Environment-variable helpers for scaling benchmark runs.
+//
+// The paper's experiments use 10,000 delicious users with personal networks
+// of size 1000. Bench binaries default to a reduced scale that preserves the
+// result shapes and finishes in minutes; `P3Q_BENCH_USERS`, `P3Q_BENCH_FULL`
+// and `P3Q_BENCH_CSV` override that behaviour.
+#ifndef P3Q_COMMON_ENV_H_
+#define P3Q_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p3q {
+
+/// Reads an integer environment variable; returns fallback when unset or
+/// unparsable.
+std::int64_t GetEnvInt(const std::string& name, std::int64_t fallback);
+
+/// Reads a boolean environment variable (unset/"0"/"false" => false).
+bool GetEnvBool(const std::string& name, bool fallback = false);
+
+/// Benchmark scale derived from the environment.
+struct BenchScale {
+  /// Number of simulated users.
+  int users;
+  /// Personal network size s (paper: 1000 at 10k users).
+  int network_size;
+  /// True when running at full paper scale (P3Q_BENCH_FULL=1).
+  bool full;
+  /// Emit CSV after each table (P3Q_BENCH_CSV=1).
+  bool csv;
+};
+
+/// Resolves the bench scale: paper scale when P3Q_BENCH_FULL=1, otherwise a
+/// reduced default (overridable with P3Q_BENCH_USERS). The personal-network
+/// size scales as users/10 like the paper's 1000/10000 ratio.
+BenchScale ResolveBenchScale(int default_users = 1000);
+
+}  // namespace p3q
+
+#endif  // P3Q_COMMON_ENV_H_

@@ -1,0 +1,51 @@
+// Fixed-width table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// helper keeps the output aligned and optionally mirrors it as CSV so the
+// curves can be re-plotted.
+#ifndef P3Q_COMMON_TABLE_PRINTER_H_
+#define P3Q_COMMON_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace p3q {
+
+/// Accumulates rows of string cells and prints them as an aligned text table.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the number of cells should match the header count
+  /// (short rows are padded with empty cells).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the aligned table to out.
+  void Print(std::ostream& out) const;
+
+  /// Renders the table as CSV (comma-separated, no quoting of cells — cells
+  /// must not contain commas).
+  void PrintCsv(std::ostream& out) const;
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string Fmt(double v, int precision = 3);
+
+  /// Formats any integral value.
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string Fmt(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_COMMON_TABLE_PRINTER_H_

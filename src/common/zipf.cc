@@ -1,0 +1,52 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+namespace p3q {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  // Rejection-inversion needs H(x) = integral of the (shifted) pmf envelope.
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  t_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+std::uint64_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ <= 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= t_ || u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k - 1;  // return 0-based rank
+    }
+  }
+}
+
+LogNormalSampler::LogNormalSampler(double mu, double sigma)
+    : mu_(mu), sigma_(sigma) {}
+
+double LogNormalSampler::Sample(Rng* rng) const {
+  // Box-Muller transform on two uniform draws.
+  double u1 = rng->NextDouble();
+  double u2 = rng->NextDouble();
+  if (u1 <= 0) u1 = 1e-300;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+}  // namespace p3q

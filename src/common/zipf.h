@@ -1,0 +1,61 @@
+// Long-tail samplers used by the synthetic delicious-like trace generator.
+//
+// Collaborative-tagging popularity is famously heavy tailed ("most items and
+// tags are used by few users", Section 3.1.1 of the paper, citing Mislove et
+// al. IMC'07). ZipfSampler draws ranks from a Zipf(s, n) law; LogNormal
+// draws user activity levels.
+#ifndef P3Q_COMMON_ZIPF_H_
+#define P3Q_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace p3q {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^s.
+///
+/// Uses rejection-inversion (W. Hormann & G. Derflinger, "Rejection-inversion
+/// to generate variates from monotone discrete distributions", 1996), which
+/// is O(1) per draw with no O(n) table, so it scales to millions of items.
+class ZipfSampler {
+ public:
+  /// n: number of distinct ranks; s: skew exponent (> 0, s != 1 handled too).
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  std::uint64_t Sample(Rng* rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double skew() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;  // rejection threshold helper
+};
+
+/// Draws log-normally distributed positive values; parameterized by the mean
+/// and sigma of the underlying normal. Used for per-user activity (profile
+/// length), which in delicious has mean ~249 actions with a >99% mass below
+/// 2000 items.
+class LogNormalSampler {
+ public:
+  LogNormalSampler(double mu, double sigma);
+
+  double Sample(Rng* rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_COMMON_ZIPF_H_

@@ -1,0 +1,46 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3q {
+
+double QueryCompletionCycles(double alpha, double remaining,
+                             double found_per_gossip) {
+  const double L = remaining;
+  const double X = found_per_gossip;
+  if (L <= 0) return 0;
+  if (alpha <= 0.0 || alpha >= 1.0) return L / X;  // the two extremes
+  if (alpha >= 0.5) {
+    return 1.0 - std::log((1.0 - alpha) * L / X + alpha) / std::log(alpha);
+  }
+  return 1.0 - std::log(alpha * L / X + (1.0 - alpha)) / std::log(1.0 - alpha);
+}
+
+int SimulateCompletionCycles(double alpha, double remaining,
+                             double found_per_gossip) {
+  if (remaining <= 0) return 0;
+  // The longest remaining list in the system shrinks by the recursion of
+  // the proof: after a gossip with X profiles found, the larger share of
+  // the split is max(α, 1-α) of what is left.
+  const double keep = std::max(alpha, 1.0 - alpha);
+  double longest = remaining;
+  int cycles = 0;
+  while (longest > 0 && cycles < 1 << 20) {
+    longest = keep * (longest - found_per_gossip);
+    ++cycles;
+  }
+  return cycles;
+}
+
+double MaxUsersInvolved(double r_alpha) { return std::pow(2.0, r_alpha); }
+
+double MaxPartialResults(double r_alpha) {
+  return std::pow(2.0, r_alpha) - 1.0;
+}
+
+double MaxEagerMessages(double r_alpha) {
+  return 2.0 * (std::pow(2.0, r_alpha) - 1.0);
+}
+
+}  // namespace p3q

@@ -1,0 +1,42 @@
+// Analytical model of the eager mode (Section 2.4, Theorems 2.1-2.4).
+//
+// Under the simplifying assumption that every gossip destination serves a
+// constant number X of profiles from a remaining list of initial length L,
+// the paper derives the number of cycles R(α) to the exact result, proves
+// R is minimized at α = 0.5, and bounds the number of involved users and
+// messages by 2^R and 2·(2^R - 1).
+#ifndef P3Q_CORE_ANALYSIS_H_
+#define P3Q_CORE_ANALYSIS_H_
+
+#include <cstdint>
+
+namespace p3q {
+
+/// R(α) of Theorem 2.1: cycles until the querier holds the best results her
+/// personal network can provide. L: initial remaining-list length; X:
+/// profiles found per gossip. Requires L >= 0, X > 0, alpha in [0, 1].
+double QueryCompletionCycles(double alpha, double remaining, double found_per_gossip);
+
+/// Exact discrete counterpart of Theorem 2.1's recursion: iterates
+/// l <- max(α, 1-α)·(l - X) until the longest remaining list is empty and
+/// returns the cycle count. (The closed form treats list lengths as reals;
+/// this is the integral process the proof models.)
+int SimulateCompletionCycles(double alpha, double remaining,
+                             double found_per_gossip);
+
+/// The α minimizing R (Theorem 2.2). Provided for self-documentation.
+constexpr double OptimalAlpha() { return 0.5; }
+
+/// Upper bound on users involved in one query (Theorem 2.3): 2^R.
+double MaxUsersInvolved(double r_alpha);
+
+/// Upper bound on partial result messages (Theorem 2.3): 2^R - 1.
+double MaxPartialResults(double r_alpha);
+
+/// Upper bound on eager gossip messages carrying remaining lists
+/// (Theorem 2.4): 2·(2^R - 1).
+double MaxEagerMessages(double r_alpha);
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_ANALYSIS_H_

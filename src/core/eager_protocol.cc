@@ -1,0 +1,267 @@
+#include "core/eager_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/lazy_protocol.h"
+#include "core/p3q_system.h"
+
+namespace p3q {
+namespace {
+
+/// Wire size of a forwarded query gossip: the remaining list, the query's
+/// tags (16 B strings on the wire) and the querier id.
+std::size_t ForwardBytes(const EagerTask& task) {
+  return task.remaining.size() * kBytesPerUserId + task.tags.size() * 16 +
+         kBytesPerUserId;
+}
+
+}  // namespace
+
+PartialResultMessage EagerProtocol::BuildPartialResult(
+    const std::vector<ProfilePtr>& profiles, const std::vector<UserId>& owners,
+    const std::vector<TagId>& tags) {
+  std::unordered_map<ItemId, std::uint32_t> scores;
+  for (const ProfilePtr& profile : profiles) {
+    for (const auto& [item, score] : profile->ScoreQuery(tags)) {
+      scores[item] += score;
+    }
+  }
+  PartialResultMessage message;
+  message.entries.assign(scores.begin(), scores.end());
+  std::sort(message.entries.begin(), message.entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  message.used_profiles = owners;
+  return message;
+}
+
+std::uint64_t EagerProtocol::IssueQuery(const QuerySpec& spec) {
+  const std::uint64_t id = next_id_++;
+  P3QNode& querier = system_->node(spec.querier);
+
+  QueryState state;
+  state.query = std::make_unique<ActiveQuery>(
+      id, spec, system_->config().top_k, querier.network().size());
+  state.reached.insert(spec.querier);
+
+  // Algorithm 2 line 3: process Q with the locally stored profiles first.
+  std::vector<ProfilePtr> stored = querier.network().StoredProfiles();
+  if (!stored.empty()) {
+    std::vector<UserId> owners;
+    owners.reserve(stored.size());
+    for (const ProfilePtr& p : stored) owners.push_back(p->owner());
+    state.query->DeliverPartialResult(
+        BuildPartialResult(stored, owners, spec.tags));
+  }
+
+  // Remaining list: network members whose profiles are not stored.
+  std::vector<UserId> remaining = querier.network().MembersWithoutProfile();
+  const bool complete = remaining.empty();
+  if (!complete) {
+    EagerTask task;
+    task.query_id = id;
+    task.querier = spec.querier;
+    task.tags = spec.tags;
+    task.remaining = std::move(remaining);
+    querier.tasks().emplace(id, std::move(task));
+    engaged_.insert(spec.querier);
+    state.active_tasks = 1;
+  }
+  state.query->EndOfCycle(complete);  // cycle-0 snapshot (local result)
+  state.finalized = complete;
+  state_.emplace(id, std::move(state));
+  return id;
+}
+
+UserId EagerProtocol::SelectDestination(P3QNode* initiator,
+                                        const EagerTask& task) {
+  const Network& net = system_->network();
+  // Remaining-list members that are personal-network neighbours, by
+  // descending timestamp (Algorithm 3 line 5), then the rest in random
+  // order. The first online candidate wins; the number of unresponsive
+  // contacts tried is bounded per cycle.
+  struct Scored {
+    UserId user;
+    std::uint32_t timestamp;
+  };
+  std::vector<Scored> neighbours;
+  std::vector<UserId> others;
+  for (UserId w : task.remaining) {
+    const NetworkEntry* e = initiator->network().Find(w);
+    if (e != nullptr) {
+      neighbours.push_back(Scored{w, e->timestamp});
+    } else {
+      others.push_back(w);
+    }
+  }
+  std::sort(neighbours.begin(), neighbours.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
+              return a.user < b.user;
+            });
+  initiator->rng().Shuffle(&others);
+
+  int attempts_left = system_->config().offline_retry + 1;
+  for (const Scored& s : neighbours) {
+    if (net.IsOnline(s.user)) return s.user;
+    if (--attempts_left <= 0) return kInvalidUser;
+  }
+  for (UserId w : others) {
+    if (net.IsOnline(w)) return w;
+    if (--attempts_left <= 0) return kInvalidUser;
+  }
+  return kInvalidUser;
+}
+
+void EagerProtocol::GossipOnce(P3QNode* initiator, EagerTask* task) {
+  QueryState& state = state_.at(task->query_id);
+  Network& net = system_->network();
+
+  const UserId dest_id = SelectDestination(initiator, *task);
+  if (dest_id == kInvalidUser) return;  // every candidate offline: stall
+  P3QNode* dest = &system_->node(dest_id);
+  participants_.insert(initiator->id());
+  participants_.insert(dest_id);
+
+  // Forward Q and the remaining list.
+  const std::size_t fwd = ForwardBytes(*task);
+  net.RecordMessage(MessageType::kEagerQueryForward, fwd);
+  state.query->traffic().forwarded_list_bytes += fwd;
+  state.query->traffic().forward_messages += 1;
+  state.reached.insert(dest_id);
+  engaged_.insert(dest_id);
+
+  // Destination prunes the list with the profiles she can serve
+  // (Algorithm 3 line 18) and processes her share of the query.
+  std::vector<UserId> found_owners;
+  std::vector<ProfilePtr> found_profiles;
+  std::vector<UserId> rest;
+  for (UserId w : task->remaining) {
+    ProfilePtr p = dest->FindUsableProfile(w);
+    if (p != nullptr) {
+      found_owners.push_back(w);
+      found_profiles.push_back(std::move(p));
+    } else {
+      rest.push_back(w);
+    }
+  }
+  if (!found_owners.empty()) {
+    PartialResultMessage message =
+        BuildPartialResult(found_profiles, found_owners, task->tags);
+    const std::size_t bytes = message.WireBytes();
+    net.RecordMessage(MessageType::kPartialResult, bytes);
+    state.query->traffic().partial_result_bytes += bytes;
+    state.query->traffic().partial_result_messages += 1;
+    state.query->DeliverPartialResult(std::move(message));
+  }
+
+  // Split the pruned list: α back to the initiator, 1-α kept by the
+  // destination as her own task (Algorithm 3 lines 19-21).
+  dest->rng().Shuffle(&rest);
+  const std::size_t n_returned = static_cast<std::size_t>(
+      std::llround(system_->config().alpha * static_cast<double>(rest.size())));
+  std::vector<UserId> returned(rest.begin(),
+                               rest.begin() + static_cast<std::ptrdiff_t>(
+                                                  n_returned));
+  std::vector<UserId> kept(rest.begin() + static_cast<std::ptrdiff_t>(n_returned),
+                           rest.end());
+  if (!kept.empty()) {
+    auto [it, created] = dest->tasks().try_emplace(task->query_id);
+    if (created) {
+      it->second.query_id = task->query_id;
+      it->second.querier = task->querier;
+      it->second.tags = task->tags;
+      ++state.active_tasks;
+    }
+    it->second.remaining.insert(it->second.remaining.end(), kept.begin(),
+                                kept.end());
+  }
+  const std::size_t ret_bytes = returned.size() * kBytesPerUserId + kBytesPerUserId;
+  net.RecordMessage(MessageType::kEagerQueryReturn, ret_bytes);
+  state.query->traffic().returned_list_bytes += ret_bytes;
+  state.query->traffic().return_messages += 1;
+  task->remaining = std::move(returned);
+
+  // Timestamps and the piggybacked lazy-style maintenance (Algorithm 3
+  // lines 6, 12, 24).
+  initiator->network().ResetTimestamp(dest_id);
+  dest->network().ResetTimestamp(initiator->id());
+  LazyProtocol::RunProfileExchange(system_, initiator->id(), dest_id);
+}
+
+void EagerProtocol::RunCycle() {
+  // Snapshot of this cycle's initiators: every engaged node with a
+  // non-empty remaining list. Tasks created during the cycle (list portions
+  // kept by destinations) act from the next cycle on.
+  std::vector<std::pair<UserId, std::uint64_t>> initiators;
+  for (UserId u : engaged_) {
+    if (!system_->network().IsOnline(u)) continue;  // departed mid-query
+    for (const auto& [qid, task] : system_->node(u).tasks()) {
+      if (!task.remaining.empty()) initiators.emplace_back(u, qid);
+    }
+  }
+  std::sort(initiators.begin(), initiators.end());
+  system_->rng().Shuffle(&initiators);
+
+  participants_.clear();
+  for (const auto& [u, qid] : initiators) {
+    P3QNode& node = system_->node(u);
+    auto it = node.tasks().find(qid);
+    if (it == node.tasks().end() || it->second.remaining.empty()) continue;
+    GossipOnce(&node, &it->second);
+    if (it->second.remaining.empty()) {
+      node.tasks().erase(it);
+      --state_.at(qid).active_tasks;
+    }
+  }
+
+  // The "wave of refreshments": every user who took part in query gossip
+  // this cycle also runs one lazy-style top-layer maintenance exchange at
+  // the eager frequency ("maintain personal network as in lazy mode",
+  // Algorithm 3 lines 12/24) — this is what makes the eager mode refresh
+  // the querier's neighbourhood so effectively (Figure 9).
+  std::vector<UserId> wave(participants_.begin(), participants_.end());
+  std::sort(wave.begin(), wave.end());
+  system_->rng().Shuffle(&wave);
+  for (UserId u : wave) {
+    if (!system_->network().IsOnline(u)) continue;
+    P3QNode& node = system_->node(u);
+    const UserId partner = node.network().OldestNeighbour();
+    if (partner == kInvalidUser || !system_->network().IsOnline(partner)) {
+      continue;
+    }
+    LazyProtocol::RunProfileExchange(system_, u, partner);
+    node.network().TouchGossiped(partner);
+    system_->node(partner).network().ResetTimestamp(u);
+  }
+
+  // End of cycle: queriers integrate the partial results received during
+  // this cycle and refresh their top-k.
+  for (auto& [qid, state] : state_) {
+    if (state.finalized) continue;
+    const bool complete = state.active_tasks == 0;
+    state.query->EndOfCycle(complete);
+    state.finalized = complete;
+  }
+}
+
+std::vector<std::uint64_t> EagerProtocol::AllQueryIds() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(state_.size());
+  for (const auto& [qid, state] : state_) ids.push_back(qid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void EagerProtocol::Forget(std::uint64_t id) {
+  for (UserId u : state_.at(id).reached) {
+    system_->node(u).tasks().erase(id);
+  }
+  state_.erase(id);
+}
+
+}  // namespace p3q

@@ -1,0 +1,94 @@
+// The eager mode: collaborative query processing (Section 2.2.2,
+// Algorithms 2 and 3).
+//
+// A query gossips through the querier's personal network together with a
+// "remaining list" — the network members whose profiles the querier does
+// not store. Every reached user prunes the list with the replicas she
+// stores, computes her share of the query, ships the partial result
+// straight to the querier, keeps a (1-α) portion of the pruned list as her
+// own task, and returns the α portion to the gossip initiator. The querier
+// merges the asynchronously arriving partial lists with incremental NRA at
+// the end of each cycle. Each query gossip also piggybacks a lazy-mode
+// profile exchange, refreshing the personal networks along the way.
+#ifndef P3Q_CORE_EAGER_PROTOCOL_H_
+#define P3Q_CORE_EAGER_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/p3q_node.h"
+#include "core/query.h"
+
+namespace p3q {
+
+class P3QSystem;
+
+/// Query-processing protocol; one instance per system.
+class EagerProtocol {
+ public:
+  explicit EagerProtocol(P3QSystem* system) : system_(system) {}
+
+  /// Starts a query: local processing at the querier, remaining-list
+  /// construction, cycle-0 snapshot. Returns the query id.
+  std::uint64_t IssueQuery(const QuerySpec& spec);
+
+  /// Runs one eager cycle: every node holding a non-empty remaining list
+  /// initiates one gossip per query, then queriers refresh their top-k.
+  void RunCycle();
+
+  ActiveQuery& query(std::uint64_t id) { return *state_.at(id).query; }
+  const ActiveQuery& query(std::uint64_t id) const {
+    return *state_.at(id).query;
+  }
+
+  /// True when no remaining list for the query exists anywhere.
+  bool Complete(std::uint64_t id) const {
+    return state_.at(id).active_tasks == 0;
+  }
+
+  /// Users the query's gossip has reached (includes the querier).
+  const std::unordered_set<UserId>& Reached(std::uint64_t id) const {
+    return state_.at(id).reached;
+  }
+
+  std::vector<std::uint64_t> AllQueryIds() const;
+
+  /// Releases all state of a query (long parameter sweeps).
+  void Forget(std::uint64_t id);
+
+ private:
+  struct QueryState {
+    std::unique_ptr<ActiveQuery> query;
+    std::unordered_set<UserId> reached;
+    int active_tasks = 0;     ///< nodes currently holding a non-empty list
+    bool finalized = false;   ///< completion snapshot already recorded
+  };
+
+  /// Algorithm 3 lines 4-9: remaining-list member that is also a
+  /// personal-network neighbour with maximum timestamp, else a random
+  /// remaining-list member; skips offline candidates (bounded retries).
+  UserId SelectDestination(P3QNode* initiator, const EagerTask& task);
+
+  /// One gossip of `task` from `initiator` (Algorithm 3 both roles).
+  void GossipOnce(P3QNode* initiator, EagerTask* task);
+
+  /// Sums Score_{u,Q}(i) over the given profiles into a ranked list.
+  static PartialResultMessage BuildPartialResult(
+      const std::vector<ProfilePtr>& profiles,
+      const std::vector<UserId>& owners, const std::vector<TagId>& tags);
+
+  P3QSystem* system_;
+  std::unordered_map<std::uint64_t, QueryState> state_;
+  std::unordered_set<UserId> engaged_;
+  /// Users who took part in query gossip during the current cycle; each
+  /// runs one maintenance exchange at the end of the cycle.
+  std::unordered_set<UserId> participants_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_EAGER_PROTOCOL_H_

@@ -1,0 +1,207 @@
+#include "core/lazy_protocol.h"
+
+#include <algorithm>
+
+#include "core/p3q_system.h"
+
+namespace p3q {
+namespace {
+
+/// Digests a node proposes in a top-layer gossip: a random subset of up to
+/// `fanout` stored profiles ("if more than 50 profiles are stored ... 50
+/// random ones are exchanged") plus the node's own fresh digest, so a user's
+/// own updates disseminate.
+std::vector<DigestInfo> MakeProposals(P3QNode* node, int fanout) {
+  std::vector<ProfilePtr> stored = node->network().StoredProfiles();
+  std::vector<DigestInfo> proposals;
+  if (static_cast<int>(stored.size()) > fanout) {
+    stored = node->rng().SampleWithoutReplacement(
+        stored, static_cast<std::size_t>(fanout));
+  }
+  proposals.reserve(stored.size() + 1);
+  for (ProfilePtr& p : stored) {
+    const UserId owner = p->owner();
+    proposals.push_back(DigestInfo{owner, std::move(p)});
+  }
+  proposals.push_back(node->SelfDigest());
+  return proposals;
+}
+
+std::size_t ProposalWireBytes(const std::vector<DigestInfo>& proposals) {
+  std::size_t bytes = 0;
+  for (const DigestInfo& d : proposals) bytes += d.WireBytes();
+  return bytes;
+}
+
+/// Algorithm 1 at the receiving side: screens each proposed digest, ships
+/// actions on common items to score the survivors, and fetches the full
+/// profiles of candidates that enter the stored top-c.
+void ProcessProposals(P3QSystem* system, P3QNode* receiver,
+                      const std::vector<DigestInfo>& proposals,
+                      P3QNode* sender) {
+  Network& net = system->network();
+  const Profile& mine = *receiver->profile();
+  for (const DigestInfo& d : proposals) {
+    if (d.user == receiver->id()) continue;
+    // Step 1 — digest screen: drop when we already hold this (or a newer)
+    // digest of the user, or when the Bloom digest shows no common item.
+    const std::uint32_t known = receiver->network().KnownVersion(d.user);
+    if (known != PersonalNetwork::kNoVersion && d.version() <= known) continue;
+    if (!DigestIndicatesCommonItem(mine, d, &receiver->rng())) continue;
+
+    // Step 2 — the receiver derives the apparently-common items by testing
+    // her own items against the candidate's Bloom digest (true common items
+    // plus false positives), requests the candidate's tagging actions for
+    // them, and receives the actions actually present. Both legs are paid:
+    // the request at 16 B per item hash, the response at 36 B per action —
+    // which is how an undersized digest's false positives turn into wasted
+    // step-2 traffic.
+    const PairSimilarity sim = system->PairInfo(mine, *d.snapshot);
+    const double fpp = d.digest().EstimatedFpp();
+    const int spurious = receiver->rng().NextBinomial(
+        static_cast<int>(mine.NumItems()) -
+            static_cast<int>(sim.common_items),
+        fpp);
+    const std::uint64_t apparent_common = sim.common_items + spurious;
+    net.RecordMessage(MessageType::kLazyCommonItems,
+                      apparent_common * 16 +
+                          static_cast<std::uint64_t>(sim.b_actions_on_common) *
+                              kBytesPerTaggingAction);
+    if (sim.score == 0) continue;
+    const std::uint64_t score =
+        SimilarityScore(system->config().similarity, sim.score, mine.Length(),
+                        d.snapshot->Length());
+
+    // Step 3 — offer to the personal network; if the entry lands in the
+    // stored top-c, the rest of the profile is transferred.
+    ConsiderOutcome outcome = receiver->network().Consider(
+        d.user, score, d, /*replica=*/d.snapshot);
+    if (outcome.stored_profile) {
+      const std::size_t rest =
+          d.snapshot->Length() - sim.b_actions_on_common;
+      net.RecordMessage(MessageType::kLazyFullProfile,
+                        rest * kBytesPerTaggingAction);
+    }
+  }
+
+  // Entries entitled to storage but missing (or holding a stale) replica are
+  // served from the gossip partner when she stores an at-least-as-new copy
+  // (Algorithm 1's "require the rest of the tagging actions" is answered by
+  // the partner who proposed the digest). There is deliberately no fallback
+  // fetch from the owner here: update dissemination flows through gossip
+  // replicas and random-view probing only, which is what gives the paper's
+  // storage-dependent freshness behaviour (Figure 7).
+  for (UserId w : receiver->network().EntriesNeedingProfile()) {
+    if (sender == nullptr) continue;
+    ProfilePtr replica = sender->FindUsableProfile(w);
+    if (replica == nullptr) continue;
+    const std::uint32_t known = receiver->network().KnownVersion(w);
+    const NetworkEntry* entry = receiver->network().Find(w);
+    const std::uint32_t stored = entry->HasStoredProfile()
+                                     ? entry->stored_profile->version()
+                                     : PersonalNetwork::kNoVersion;
+    // Useless when older than the digest we trust, or no newer than what we
+    // already store.
+    if (replica->version() < known) continue;
+    if (stored != PersonalNetwork::kNoVersion &&
+        replica->version() <= stored) {
+      continue;
+    }
+    net.RecordMessage(MessageType::kLazyFullProfile, replica->WireBytes());
+    const std::uint64_t score = system->ScoreBetween(mine, *replica);
+    if (score == 0) continue;  // cannot happen for a network entry; guard
+    receiver->network().Consider(w, score, DigestInfo{w, replica}, replica);
+  }
+}
+
+}  // namespace
+
+void LazyProtocol::RunProfileExchange(P3QSystem* system, UserId a, UserId b) {
+  P3QNode* na = &system->node(a);
+  P3QNode* nb = &system->node(b);
+  const int fanout = system->config().gossip_profile_fanout;
+
+  std::vector<DigestInfo> from_a = MakeProposals(na, fanout);
+  std::vector<DigestInfo> from_b = MakeProposals(nb, fanout);
+  system->network().RecordMessage(MessageType::kLazyDigestProposal,
+                                  ProposalWireBytes(from_a));
+  system->network().RecordMessage(MessageType::kLazyDigestProposal,
+                                  ProposalWireBytes(from_b));
+  ProcessProposals(system, nb, from_a, na);
+  ProcessProposals(system, na, from_b, nb);
+}
+
+void LazyProtocol::RunBottomLayer(P3QNode* node) {
+  Network& net = system_->network();
+  RandomView& view = node->random_view();
+
+  // Random-peer-sampling shuffle with one online random-view peer.
+  for (int attempt = 0; attempt < system_->config().offline_retry; ++attempt) {
+    const UserId peer = view.SelectRandomPeer(&node->rng());
+    if (peer == kInvalidUser) break;
+    if (!net.IsOnline(peer)) {
+      view.Remove(peer);  // unresponsive entry is replaced over time
+      continue;
+    }
+    P3QNode* pn = &system_->node(peer);
+    std::vector<DigestInfo> mine = view.MakeExchangePayload(node->SelfDigest());
+    std::vector<DigestInfo> theirs =
+        pn->random_view().MakeExchangePayload(pn->SelfDigest());
+    std::size_t bytes_mine = 0, bytes_theirs = 0;
+    for (const auto& d : mine) bytes_mine += d.WireBytes();
+    for (const auto& d : theirs) bytes_theirs += d.WireBytes();
+    net.RecordMessage(MessageType::kRandomViewGossip, bytes_mine);
+    net.RecordMessage(MessageType::kRandomViewGossip, bytes_theirs);
+    view.Merge(theirs, &node->rng());
+    pn->random_view().Merge(mine, &pn->rng());
+    break;
+  }
+
+  // Probe fresh random-view digests: when a digest shows at least one item
+  // in common with this node's profile, the full profile is fetched from
+  // its owner and scored as a personal-network candidate. Probing is
+  // memoized per (user, version) — re-probing an unchanged digest cannot
+  // change the outcome, so this is behaviourally the paper's per-cycle
+  // re-scoring at a fraction of the cost.
+  const Profile& mine = *node->profile();
+  for (const DigestInfo& d : view.entries()) {
+    if (!node->ShouldProbe(d.user, d.version())) continue;
+    if (node->network().KnownVersion(d.user) != PersonalNetwork::kNoVersion &&
+        node->network().KnownVersion(d.user) >= d.version()) {
+      continue;
+    }
+    if (!DigestIndicatesCommonItem(mine, d, &node->rng())) continue;
+    if (!net.IsOnline(d.user)) continue;
+    const ProfilePtr current = system_->profile_store().Get(d.user);
+    net.RecordMessage(MessageType::kDirectProfileFetch, current->WireBytes());
+    const std::uint64_t score = system_->ScoreBetween(mine, *current);
+    if (score == 0) continue;
+    node->network().Consider(d.user, score, DigestInfo{d.user, current},
+                             current);
+  }
+}
+
+void LazyProtocol::RunTopLayer(P3QNode* node) {
+  Network& net = system_->network();
+  std::vector<UserId> skip;
+  for (int attempt = 0; attempt <= system_->config().offline_retry; ++attempt) {
+    const UserId dest = node->network().OldestNeighbour(skip);
+    if (dest == kInvalidUser) return;
+    if (!net.IsOnline(dest)) {
+      skip.push_back(dest);
+      continue;
+    }
+    RunProfileExchange(system_, node->id(), dest);
+    node->network().TouchGossiped(dest);
+    system_->node(dest).network().ResetTimestamp(node->id());
+    return;
+  }
+}
+
+void LazyProtocol::RunCycle(UserId node_id, std::uint64_t /*cycle*/) {
+  P3QNode* node = &system_->node(node_id);
+  if (system_->config().enable_bottom_layer) RunBottomLayer(node);
+  RunTopLayer(node);
+}
+
+}  // namespace p3q

@@ -1,0 +1,53 @@
+// The lazy mode: personal-network maintenance (Section 2.2.1, Algorithm 1).
+//
+// Each cycle every online user runs two layers:
+//  - bottom: random-peer-sampling digest shuffle with a random-view peer,
+//    followed by probing promising random-view digests (fetching the full
+//    profile from its owner when the digest shows a common item);
+//  - top: gossip with the personal-network neighbour having the oldest
+//    timestamp, exchanging digests of a random subset of stored profiles
+//    and running the 3-step exchange of Algorithm 1 (digest screen, actions
+//    on common items, full profiles for new top-c entries).
+//
+// RunProfileExchange is the top-layer exchange factored out so the eager
+// mode can piggyback the same maintenance on query gossip (Algorithm 3's
+// "maintain personal network as in lazy mode").
+#ifndef P3Q_CORE_LAZY_PROTOCOL_H_
+#define P3Q_CORE_LAZY_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace p3q {
+
+class P3QSystem;
+class P3QNode;
+
+/// Cycle-driven lazy-mode protocol.
+class LazyProtocol : public CycleProtocol {
+ public:
+  explicit LazyProtocol(P3QSystem* system) : system_(system) {}
+
+  /// One lazy cycle of one node: bottom layer, probing, top layer, ageing.
+  void RunCycle(UserId node, std::uint64_t cycle) override;
+
+  /// The top-layer profile exchange between two online users a and b (both
+  /// directions). Used by the lazy mode every cycle and piggybacked by the
+  /// eager mode on every query gossip.
+  static void RunProfileExchange(P3QSystem* system, UserId a, UserId b);
+
+ private:
+  /// Random-peer-sampling shuffle plus digest probing.
+  void RunBottomLayer(P3QNode* node);
+
+  /// Personal-network gossip with the oldest-timestamp neighbour.
+  void RunTopLayer(P3QNode* node);
+
+  P3QSystem* system_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_LAZY_PROTOCOL_H_

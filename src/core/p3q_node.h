@@ -1,0 +1,82 @@
+// One P3Q user: her profile, personal network, random view and query tasks.
+#ifndef P3Q_CORE_P3Q_NODE_H_
+#define P3Q_CORE_P3Q_NODE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/personal_network.h"
+#include "gossip/peer_sampling.h"
+#include "profile/profile.h"
+
+namespace p3q {
+
+/// The share of a query a node is responsible for: the query's tags and the
+/// remaining list portion assigned to this node (Algorithm 3).
+struct EagerTask {
+  std::uint64_t query_id = 0;
+  UserId querier = kInvalidUser;
+  std::vector<TagId> tags;          // sorted ascending
+  std::vector<UserId> remaining;    // profiles still to locate
+};
+
+/// Per-user protocol state.
+class P3QNode {
+ public:
+  /// self: user id; profile: current own profile snapshot; storage_capacity:
+  /// this user's c (from the storage distribution); rng: private stream.
+  P3QNode(UserId self, ProfilePtr profile, const P3QConfig& config,
+          int storage_capacity, Rng rng);
+
+  UserId id() const { return self_; }
+  int storage_capacity() const { return storage_capacity_; }
+
+  const ProfilePtr& profile() const { return profile_; }
+  /// Installs a new own-profile snapshot (the user tagged new items).
+  void SetOwnProfile(ProfilePtr profile) { profile_ = std::move(profile); }
+
+  /// Fresh descriptor of this node's own profile.
+  DigestInfo SelfDigest() const { return DigestInfo{self_, profile_}; }
+
+  PersonalNetwork& network() { return network_; }
+  const PersonalNetwork& network() const { return network_; }
+
+  RandomView& random_view() { return random_view_; }
+  const RandomView& random_view() const { return random_view_; }
+
+  Rng& rng() { return rng_; }
+
+  /// The profile of `user` if this node can serve it: her own profile when
+  /// user == self, else a stored replica. Null otherwise. This is what the
+  /// eager mode's GoodProfiles check uses (Section 2.3: "either her own
+  /// profile or those stored in her personal network").
+  ProfilePtr FindUsableProfile(UserId user) const;
+
+  /// True exactly once per (user, version): memoizes random-view probing so
+  /// a digest that already triggered a probe is not re-probed every cycle
+  /// (behaviourally equivalent to the paper's per-cycle re-scoring, since a
+  /// re-probe of an unchanged digest cannot change the outcome).
+  bool ShouldProbe(UserId user, std::uint32_t version);
+
+  /// Active query shares keyed by query id.
+  std::unordered_map<std::uint64_t, EagerTask>& tasks() { return tasks_; }
+  const std::unordered_map<std::uint64_t, EagerTask>& tasks() const {
+    return tasks_;
+  }
+
+ private:
+  UserId self_;
+  int storage_capacity_;
+  ProfilePtr profile_;
+  PersonalNetwork network_;
+  RandomView random_view_;
+  Rng rng_;
+  std::unordered_map<UserId, std::uint32_t> probed_versions_;
+  std::unordered_map<std::uint64_t, EagerTask> tasks_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_P3Q_NODE_H_

@@ -1,0 +1,162 @@
+#include "core/p3q_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "core/eager_protocol.h"
+#include "core/lazy_protocol.h"
+
+namespace p3q {
+
+P3QSystem::P3QSystem(const Dataset& dataset, const P3QConfig& config,
+                     std::vector<int> per_user_storage, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      store_(dataset.BuildProfileStore(config.digest_bits)),
+      network_(dataset.NumUsers()),
+      engine_(dataset.NumUsers(), SplitMix64(&seed)) {
+  const std::string problem = config_.Validate();
+  if (!problem.empty()) {
+    throw std::invalid_argument("P3QConfig: " + problem);
+  }
+  if (per_user_storage.empty()) {
+    per_user_storage.assign(dataset.NumUsers(), config_.stored_profiles);
+  }
+  if (per_user_storage.size() != dataset.NumUsers()) {
+    throw std::invalid_argument(
+        "per_user_storage must have one entry per user (or be empty)");
+  }
+  nodes_.reserve(dataset.NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
+    const int c = std::min(per_user_storage[u], config_.network_size);
+    nodes_.push_back(std::make_unique<P3QNode>(u, store_.Get(u), config_,
+                                               std::max(1, c), rng_.Fork()));
+  }
+  lazy_ = std::make_unique<LazyProtocol>(this);
+  eager_ = std::make_unique<EagerProtocol>(this);
+  engine_.AddProtocol(lazy_.get());
+  engine_.SetLivenessCheck([this](UserId u) { return network_.IsOnline(u); });
+}
+
+P3QSystem::~P3QSystem() = default;
+
+void P3QSystem::BootstrapRandomViews() {
+  std::vector<UserId> all(NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) all[u] = u;
+  for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) {
+    std::vector<UserId> peers = rng_.SampleWithoutReplacement(
+        all, static_cast<std::size_t>(config_.random_view_size) + 1);
+    std::vector<DigestInfo> entries;
+    for (UserId v : peers) {
+      if (v == u) continue;
+      if (entries.size() >= static_cast<std::size_t>(config_.random_view_size)) {
+        break;
+      }
+      entries.push_back(DigestInfo{v, store_.Get(v)});
+    }
+    node(u).random_view().Init(std::move(entries));
+  }
+}
+
+void P3QSystem::SeedNetworks(
+    const std::vector<std::vector<std::pair<UserId, std::uint64_t>>>& ideal) {
+  assert(ideal.size() == NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) {
+    PersonalNetwork& network = node(u).network();
+    for (const auto& [v, score] : ideal[u]) {
+      if (score == 0) continue;
+      const ProfilePtr snapshot = store_.Get(v);
+      network.Consider(v, score, DigestInfo{v, snapshot}, snapshot);
+    }
+  }
+}
+
+void P3QSystem::SeedExplicitNetworks(
+    const std::vector<std::vector<UserId>>& friends) {
+  assert(friends.size() == NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) {
+    PersonalNetwork& network = node(u).network();
+    const Profile& mine = *node(u).profile();
+    for (UserId v : friends[u]) {
+      if (v == u || v >= NumUsers()) continue;
+      const ProfilePtr snapshot = store_.Get(v);
+      std::uint64_t score = ScoreBetween(mine, *snapshot);
+      if (score == 0) score = 1;  // declared friends always qualify
+      network.Consider(v, score, DigestInfo{v, snapshot}, snapshot);
+    }
+  }
+}
+
+void P3QSystem::RunLazyCycles(std::uint64_t n) { engine_.RunCycles(n); }
+
+void P3QSystem::AddLazyObserver(std::function<void(std::uint64_t)> observer) {
+  engine_.AddObserver(std::move(observer));
+}
+
+std::uint64_t P3QSystem::IssueQuery(const QuerySpec& spec) {
+  return eager_->IssueQuery(spec);
+}
+
+void P3QSystem::RunEagerCycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) eager_->RunCycle();
+}
+
+ActiveQuery& P3QSystem::query(std::uint64_t query_id) {
+  return eager_->query(query_id);
+}
+
+const ActiveQuery& P3QSystem::query(std::uint64_t query_id) const {
+  return eager_->query(query_id);
+}
+
+bool P3QSystem::QueryComplete(std::uint64_t query_id) const {
+  return eager_->Complete(query_id);
+}
+
+const std::unordered_set<UserId>& P3QSystem::QueryReached(
+    std::uint64_t query_id) const {
+  return eager_->Reached(query_id);
+}
+
+std::vector<std::uint64_t> P3QSystem::AllQueryIds() const {
+  return eager_->AllQueryIds();
+}
+
+void P3QSystem::ForgetQuery(std::uint64_t query_id) {
+  eager_->Forget(query_id);
+}
+
+void P3QSystem::ApplyUpdateBatch(const UpdateBatch& batch) {
+  batch.ApplyTo(&store_);
+  for (const ProfileUpdate& update : batch.updates) {
+    node(update.user).SetOwnProfile(store_.Get(update.user));
+  }
+}
+
+std::vector<UserId> P3QSystem::FailRandomFraction(double fraction) {
+  return network_.FailRandomFraction(fraction, &rng_);
+}
+
+PairSimilarity P3QSystem::PairInfo(const Profile& a, const Profile& b) {
+  assert(a.owner() != b.owner());
+  const bool swapped = a.owner() > b.owner();
+  const Profile& lo = swapped ? b : a;
+  const Profile& hi = swapped ? a : b;
+  PairKey key;
+  key.users = (static_cast<std::uint64_t>(lo.owner()) << 32) | hi.owner();
+  key.versions =
+      (static_cast<std::uint64_t>(lo.version()) << 32) | hi.version();
+  auto it = pair_cache_.find(key);
+  if (it == pair_cache_.end()) {
+    // Bound the cache so billion-pair full-scale sweeps cannot exhaust
+    // memory; a reset only costs recomputation.
+    if (pair_cache_.size() > 20'000'000) pair_cache_.clear();
+    it = pair_cache_.emplace(key, ComputePairSimilarity(lo, hi)).first;
+  }
+  PairSimilarity sim = it->second;
+  if (swapped) std::swap(sim.a_actions_on_common, sim.b_actions_on_common);
+  return sim;
+}
+
+}  // namespace p3q

@@ -1,0 +1,176 @@
+// P3QSystem — the public entry point: a whole simulated P3Q deployment.
+//
+// Owns the population (profile store + one P3QNode per user), the simulated
+// network with its traffic accounting, the cycle engine, and the protocol
+// instances. Typical use:
+//
+//   auto trace = GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(1000), 1);
+//   P3QConfig config;
+//   config.network_size = 100;
+//   P3QSystem system(trace.dataset(), config, /*per_user_storage=*/{}, seed);
+//   system.BootstrapRandomViews();
+//   system.RunLazyCycles(200);                        // build personal networks
+//   auto qid = system.IssueQuery(GenerateQueryForUser(trace.dataset(), 42, &rng));
+//   system.RunEagerCycles(10);                        // gossip the query
+//   const ActiveQuery& q = system.query(qid);         // per-cycle top-k history
+#ifndef P3Q_CORE_P3Q_SYSTEM_H_
+#define P3Q_CORE_P3Q_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/p3q_node.h"
+#include "core/query.h"
+#include "dataset/dataset.h"
+#include "dataset/update_batch.h"
+#include "profile/profile_store.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace p3q {
+
+class LazyProtocol;
+class EagerProtocol;
+
+/// A complete simulated P3Q deployment.
+class P3QSystem {
+ public:
+  /// dataset: the tagging trace; config: protocol parameters;
+  /// per_user_storage: every user's c (empty => config.stored_profiles for
+  /// all); seed: master seed for all randomness.
+  P3QSystem(const Dataset& dataset, const P3QConfig& config,
+            std::vector<int> per_user_storage, std::uint64_t seed);
+  ~P3QSystem();
+
+  P3QSystem(const P3QSystem&) = delete;
+  P3QSystem& operator=(const P3QSystem&) = delete;
+
+  std::size_t NumUsers() const { return nodes_.size(); }
+  const P3QConfig& config() const { return config_; }
+  Network& network() { return network_; }
+  const Network& network() const { return network_; }
+  ProfileStore& profile_store() { return store_; }
+  const ProfileStore& profile_store() const { return store_; }
+  P3QNode& node(UserId user) { return *nodes_[user]; }
+  const P3QNode& node(UserId user) const { return *nodes_[user]; }
+  Rng& rng() { return rng_; }
+  Metrics& metrics() { return network_.metrics(); }
+
+  // -- Initialization ------------------------------------------------------
+
+  /// Fills every node's random view with r uniformly random peers (their
+  /// current digests); the paper's bootstrap via peer sampling.
+  void BootstrapRandomViews();
+
+  /// Installs converged personal networks directly: per user, her ideal
+  /// neighbours as (user, score) sorted by descending score; the top-c get
+  /// fresh profile replicas. Used by the query-processing experiments,
+  /// which start from built networks (the paper converges the lazy mode
+  /// first; see baseline/ideal_network.h for computing the lists).
+  void SeedNetworks(
+      const std::vector<std::vector<std::pair<UserId, std::uint64_t>>>& ideal);
+
+  /// Seeds each user's personal network from an *explicit* social graph
+  /// (friends[u] = u's declared friends). The paper's Section 4: "equipping
+  /// each P3Q user with a pre-defined explicit network (e.g. Facebook) as
+  /// input would be straightforward: only the eager mode would suffice".
+  /// Friends are scored with the configured similarity; zero-similarity
+  /// friends still join with a minimal score of 1 (a declared friend is a
+  /// neighbour regardless of overlap), and the top-c get replicas.
+  void SeedExplicitNetworks(const std::vector<std::vector<UserId>>& friends);
+
+  // -- Lazy mode -----------------------------------------------------------
+
+  /// Runs n lazy cycles over every online node.
+  void RunLazyCycles(std::uint64_t n);
+
+  /// Registers an observer invoked after every lazy cycle.
+  void AddLazyObserver(std::function<void(std::uint64_t)> observer);
+
+  // -- Eager mode (queries) -------------------------------------------------
+
+  /// Issues a query: computes the querier's local partial result, builds her
+  /// remaining list, and returns the query id.
+  std::uint64_t IssueQuery(const QuerySpec& spec);
+
+  /// Runs n eager cycles; every node holding a non-empty remaining list
+  /// gossips once per cycle per query, and queriers refresh their top-k at
+  /// the end of each cycle.
+  void RunEagerCycles(std::uint64_t n);
+
+  /// Querier-side state of a query.
+  ActiveQuery& query(std::uint64_t query_id);
+  const ActiveQuery& query(std::uint64_t query_id) const;
+
+  /// True when no remaining list for the query exists anywhere.
+  bool QueryComplete(std::uint64_t query_id) const;
+
+  /// Users reached by the query's gossip so far (includes the querier).
+  const std::unordered_set<UserId>& QueryReached(std::uint64_t query_id) const;
+
+  /// Ids of all issued queries.
+  std::vector<std::uint64_t> AllQueryIds() const;
+
+  /// Drops finished query state (frees memory in long sweeps).
+  void ForgetQuery(std::uint64_t query_id);
+
+  // -- Dynamism -------------------------------------------------------------
+
+  /// Publishes an update batch: store versions bump and each changed user's
+  /// node learns its own new profile immediately.
+  void ApplyUpdateBatch(const UpdateBatch& batch);
+
+  /// Takes a random fraction of online users offline; returns them.
+  std::vector<UserId> FailRandomFraction(double fraction);
+
+  // -- Internals shared by the protocols ------------------------------------
+
+  /// Similarity of two profile snapshots, memoized on (owner, version)
+  /// pairs; the result is oriented to the (a, b) argument order. The score
+  /// field is always the raw common-action count.
+  PairSimilarity PairInfo(const Profile& a, const Profile& b);
+
+  /// The configured similarity metric applied to the pair (what the
+  /// personal networks rank by).
+  std::uint64_t ScoreBetween(const Profile& a, const Profile& b) {
+    return SimilarityScore(config_.similarity, PairInfo(a, b).score,
+                           a.Length(), b.Length());
+  }
+
+  EagerProtocol& eager() { return *eager_; }
+
+ private:
+  struct PairKey {
+    std::uint64_t users;     // lo << 32 | hi
+    std::uint64_t versions;  // ver_lo << 32 | ver_hi
+    bool operator==(const PairKey& o) const {
+      return users == o.users && versions == o.versions;
+    }
+  };
+  struct PairKeyHash {
+    std::size_t operator()(const PairKey& k) const {
+      std::uint64_t h = k.users * 0x9e3779b97f4a7c15ULL;
+      h ^= (k.versions + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  P3QConfig config_;
+  Rng rng_;
+  ProfileStore store_;
+  Network network_;
+  Engine engine_;
+  std::vector<std::unique_ptr<P3QNode>> nodes_;
+  std::unique_ptr<LazyProtocol> lazy_;
+  std::unique_ptr<EagerProtocol> eager_;
+  std::unordered_map<PairKey, PairSimilarity, PairKeyHash> pair_cache_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_P3Q_SYSTEM_H_

@@ -1,0 +1,40 @@
+#include "core/query.h"
+
+namespace p3q {
+
+ActiveQuery::ActiveQuery(std::uint64_t id, QuerySpec spec, int k,
+                         std::size_t expected)
+    : id_(id), spec_(std::move(spec)), expected_(expected), nra_(k) {}
+
+void ActiveQuery::DeliverPartialResult(PartialResultMessage message) {
+  inbox_.push_back(std::move(message));
+}
+
+void ActiveQuery::EndOfCycle(bool complete) {
+  for (auto& message : inbox_) {
+    for (UserId u : message.used_profiles) used_profiles_.insert(u);
+    nra_.AddList(std::move(message.entries));
+  }
+  inbox_.clear();
+  if (complete) {
+    // All partial lists have arrived: drain so worst == best == exact and
+    // the final ranking matches the centralized reference ordering.
+    nra_.DrainAll();
+  } else {
+    nra_.Process();
+  }
+  QueryCycleSnapshot snapshot;
+  snapshot.top_k = nra_.TopK();
+  snapshot.used_profiles = used_profiles_.size();
+  snapshot.complete = complete;
+  history_.push_back(std::move(snapshot));
+}
+
+std::vector<ItemId> ActiveQuery::CurrentTopKItems() const {
+  std::vector<ItemId> items;
+  if (history_.empty()) return items;
+  for (const RankedItem& r : history_.back().top_k) items.push_back(r.item);
+  return items;
+}
+
+}  // namespace p3q

@@ -1,0 +1,117 @@
+// Querier-side state of an in-flight personalized top-k query.
+//
+// While the eager mode gossips a query through the querier's personal
+// network, partial result lists stream back to her in dedicated messages.
+// ActiveQuery collects them, feeds the incremental NRA at the end of every
+// cycle, and records a per-cycle snapshot (the top-k the user would see, how
+// many of her neighbours' profiles contributed, and the traffic spent) —
+// exactly the quantities Figures 3, 4, 6, 8 and 11 plot.
+#ifndef P3Q_CORE_QUERY_H_
+#define P3Q_CORE_QUERY_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "core/topk.h"
+#include "dataset/query_gen.h"
+
+namespace p3q {
+
+/// A partial result list travelling from a collaborating user to the querier.
+struct PartialResultMessage {
+  /// (item, partial score), sorted by score descending; may be empty when
+  /// the used profiles matched no query tag.
+  std::vector<std::pair<ItemId, std::uint32_t>> entries;
+  /// Users whose profiles produced this list (the querier's progress gauge).
+  std::vector<UserId> used_profiles;
+
+  /// Wire size: scored items plus the used-profile ids.
+  std::size_t WireBytes() const {
+    return entries.size() * kBytesPerResultEntry +
+           used_profiles.size() * kBytesPerUserId;
+  }
+};
+
+/// Per-query traffic accounting (the three byte series of Figure 6).
+struct QueryTraffic {
+  std::uint64_t forwarded_list_bytes = 0;
+  std::uint64_t returned_list_bytes = 0;
+  std::uint64_t partial_result_bytes = 0;
+  std::uint64_t forward_messages = 0;
+  std::uint64_t return_messages = 0;
+  std::uint64_t partial_result_messages = 0;
+
+  std::uint64_t TotalBytes() const {
+    return forwarded_list_bytes + returned_list_bytes + partial_result_bytes;
+  }
+};
+
+/// End-of-cycle snapshot of what the querier sees.
+struct QueryCycleSnapshot {
+  /// Top-k by worst-case score at this cycle.
+  std::vector<RankedItem> top_k;
+  /// Distinct neighbours whose profiles have been used so far.
+  std::size_t used_profiles = 0;
+  /// True once every profile of the personal network has been used.
+  bool complete = false;
+};
+
+/// Querier-side bookkeeping of one query.
+class ActiveQuery {
+ public:
+  /// id: system-assigned; spec: the query; k: result size; expected:
+  /// size of the querier's personal network at issue time (the number of
+  /// profiles a complete processing must use).
+  ActiveQuery(std::uint64_t id, QuerySpec spec, int k, std::size_t expected);
+
+  std::uint64_t id() const { return id_; }
+  const QuerySpec& spec() const { return spec_; }
+
+  /// Enqueues a partial result received during the current cycle.
+  void DeliverPartialResult(PartialResultMessage message);
+
+  /// Ends the cycle: feeds queued lists into the NRA, refreshes the top-k
+  /// and appends a snapshot. `complete` signals that no remaining list for
+  /// this query exists anywhere in the system (on completion the NRA is
+  /// drained so the final ranking is exact).
+  void EndOfCycle(bool complete);
+
+  /// Snapshots, one per elapsed cycle (index 0 = the local result computed
+  /// at issue time).
+  const std::vector<QueryCycleSnapshot>& history() const { return history_; }
+
+  /// Latest snapshot's top-k item ids.
+  std::vector<ItemId> CurrentTopKItems() const;
+
+  /// Distinct users whose profiles have contributed so far.
+  std::size_t NumUsedProfiles() const { return used_profiles_.size(); }
+  const std::unordered_set<UserId>& used_profiles() const {
+    return used_profiles_;
+  }
+
+  /// Profiles a complete processing must use (= |Network(querier)|).
+  std::size_t expected_profiles() const { return expected_; }
+
+  QueryTraffic& traffic() { return traffic_; }
+  const QueryTraffic& traffic() const { return traffic_; }
+
+  IncrementalNra& nra() { return nra_; }
+  const IncrementalNra& nra() const { return nra_; }
+
+ private:
+  std::uint64_t id_;
+  QuerySpec spec_;
+  std::size_t expected_;
+  IncrementalNra nra_;
+  std::vector<PartialResultMessage> inbox_;
+  std::unordered_set<UserId> used_profiles_;
+  std::vector<QueryCycleSnapshot> history_;
+  QueryTraffic traffic_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_QUERY_H_

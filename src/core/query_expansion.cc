@@ -1,0 +1,62 @@
+#include "core/query_expansion.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace p3q {
+
+std::vector<ExpansionTag> RankExpansionTags(
+    const std::vector<ProfilePtr>& profiles,
+    const std::vector<TagId>& sorted_query_tags) {
+  std::unordered_map<TagId, std::uint64_t> weights;
+  for (const ProfilePtr& profile : profiles) {
+    const auto& actions = profile->actions();
+    std::size_t i = 0;
+    while (i < actions.size()) {
+      // One item run: count query-tag hits, remember the other tags.
+      const ItemId item = ActionItem(actions[i]);
+      std::size_t hits = 0;
+      std::vector<TagId> others;
+      while (i < actions.size() && ActionItem(actions[i]) == item) {
+        const TagId tag = ActionTag(actions[i]);
+        if (std::binary_search(sorted_query_tags.begin(),
+                               sorted_query_tags.end(), tag)) {
+          ++hits;
+        } else {
+          others.push_back(tag);
+        }
+        ++i;
+      }
+      if (hits == 0) continue;
+      for (TagId tag : others) weights[tag] += hits;
+    }
+  }
+  std::vector<ExpansionTag> ranked;
+  ranked.reserve(weights.size());
+  for (const auto& [tag, weight] : weights) {
+    ranked.push_back(ExpansionTag{tag, weight});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ExpansionTag& a, const ExpansionTag& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.tag < b.tag;
+            });
+  return ranked;
+}
+
+std::vector<TagId> ExpandQueryTags(const std::vector<ProfilePtr>& profiles,
+                                   const std::vector<TagId>& sorted_query_tags,
+                                   int max_extra) {
+  std::vector<TagId> expanded = sorted_query_tags;
+  const std::vector<ExpansionTag> ranked =
+      RankExpansionTags(profiles, sorted_query_tags);
+  for (int i = 0; i < max_extra && i < static_cast<int>(ranked.size()); ++i) {
+    expanded.push_back(ranked[static_cast<std::size_t>(i)].tag);
+  }
+  std::sort(expanded.begin(), expanded.end());
+  expanded.erase(std::unique(expanded.begin(), expanded.end()),
+                 expanded.end());
+  return expanded;
+}
+
+}  // namespace p3q

@@ -1,0 +1,48 @@
+// Personalized query expansion.
+//
+// The paper closes with: "our contribution ... is not limited to top-k
+// processing: we believe that it could be used in the context of
+// personalized query expansion". This module implements that application on
+// top of the same local state the eager mode starts from: the query's tags
+// are expanded with the tags that the querier's stored acquaintance
+// profiles co-apply to the items the original tags hit. Because the
+// acquaintances share the querier's interests, the added tags
+// disambiguate the query in her sense of the words (the paper's 'matrix'
+// example: a mathematician's neighbours co-tag 'matrix' with 'algebra',
+// a film fan's with 'movie').
+#ifndef P3Q_CORE_QUERY_EXPANSION_H_
+#define P3Q_CORE_QUERY_EXPANSION_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "profile/profile.h"
+
+namespace p3q {
+
+/// A candidate expansion tag with its co-occurrence weight.
+struct ExpansionTag {
+  TagId tag = 0;
+  /// Sum over profiles and items of (query tags on the item) for each
+  /// co-occurring application of `tag`.
+  std::uint64_t weight = 0;
+};
+
+/// Ranks candidate expansion tags from the given profiles: for every item
+/// that at least one query tag hits in a profile, every *other* tag that
+/// profile applied to the item is a candidate, weighted by the number of
+/// query tags hitting the item. Tags already in the query are excluded.
+/// Results are sorted by descending weight (ties: ascending tag id).
+std::vector<ExpansionTag> RankExpansionTags(
+    const std::vector<ProfilePtr>& profiles,
+    const std::vector<TagId>& sorted_query_tags);
+
+/// Expands the query: original tags plus up to `max_extra` top-ranked
+/// co-occurring tags, returned sorted ascending (ready for ScoreQuery).
+std::vector<TagId> ExpandQueryTags(const std::vector<ProfilePtr>& profiles,
+                                   const std::vector<TagId>& sorted_query_tags,
+                                   int max_extra);
+
+}  // namespace p3q
+
+#endif  // P3Q_CORE_QUERY_EXPANSION_H_

@@ -1,0 +1,83 @@
+#include "dataset/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace p3q {
+
+Dataset::Dataset(std::vector<std::vector<ActionKey>> user_actions)
+    : user_actions_(std::move(user_actions)) {
+  for (auto& actions : user_actions_) {
+    std::sort(actions.begin(), actions.end());
+    actions.erase(std::unique(actions.begin(), actions.end()), actions.end());
+  }
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_users = user_actions_.size();
+  std::unordered_set<ItemId> items;
+  std::unordered_set<TagId> tags;
+  std::size_t total_items_per_user = 0;
+  for (const auto& actions : user_actions_) {
+    stats.num_actions += actions.size();
+    ItemId last = kInvalidItem;
+    std::size_t user_items = 0;
+    for (ActionKey a : actions) {
+      items.insert(ActionItem(a));
+      tags.insert(ActionTag(a));
+      if (ActionItem(a) != last) {
+        ++user_items;
+        last = ActionItem(a);
+      }
+    }
+    total_items_per_user += user_items;
+    stats.max_items_per_user = std::max(stats.max_items_per_user, user_items);
+  }
+  stats.num_items = items.size();
+  stats.num_tags = tags.size();
+  if (stats.num_users > 0) {
+    stats.mean_profile_length =
+        static_cast<double>(stats.num_actions) / stats.num_users;
+    stats.mean_items_per_user =
+        static_cast<double>(total_items_per_user) / stats.num_users;
+  }
+  return stats;
+}
+
+Dataset Dataset::Reduce(std::size_t min_users) const {
+  // Count, for every item and tag, how many distinct users employ it.
+  std::unordered_map<ItemId, std::size_t> item_users;
+  std::unordered_map<TagId, std::size_t> tag_users;
+  for (const auto& actions : user_actions_) {
+    std::unordered_set<ItemId> seen_items;
+    std::unordered_set<TagId> seen_tags;
+    for (ActionKey a : actions) {
+      seen_items.insert(ActionItem(a));
+      seen_tags.insert(ActionTag(a));
+    }
+    for (ItemId i : seen_items) ++item_users[i];
+    for (TagId t : seen_tags) ++tag_users[t];
+  }
+  std::vector<std::vector<ActionKey>> reduced(user_actions_.size());
+  for (std::size_t u = 0; u < user_actions_.size(); ++u) {
+    for (ActionKey a : user_actions_[u]) {
+      if (item_users[ActionItem(a)] >= min_users &&
+          tag_users[ActionTag(a)] >= min_users) {
+        reduced[u].push_back(a);
+      }
+    }
+  }
+  return Dataset(std::move(reduced));
+}
+
+ProfileStore Dataset::BuildProfileStore(std::size_t digest_bits) const {
+  ProfileStore store;
+  for (std::size_t u = 0; u < user_actions_.size(); ++u) {
+    store.AddUser(static_cast<UserId>(u), user_actions_[u], digest_bits);
+  }
+  return store;
+}
+
+}  // namespace p3q

@@ -1,0 +1,171 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/zipf.h"
+
+namespace p3q {
+
+SyntheticConfig SyntheticConfig::DeliciousLike(int num_users) {
+  SyntheticConfig config;
+  config.num_users = num_users;
+  // Scale the universe with the user count, keeping the paper's reduced
+  // crawl ratios: ~10 items and ~3.2 tags per user in the universe.
+  config.num_communities = std::max(4, num_users / 50);
+  config.items_per_community =
+      std::max(200, static_cast<int>(10.0 * num_users / config.num_communities));
+  config.tags_per_community =
+      std::max(60, static_cast<int>(3.2 * num_users / config.num_communities));
+  return config;
+}
+
+namespace {
+
+/// Builds each community's item pool. Pools draw from a shared global range
+/// so neighbouring communities overlap, as topics do in delicious.
+std::vector<std::vector<ItemId>> BuildCommunityItems(
+    const SyntheticConfig& config, Rng* rng) {
+  const int num_global =
+      std::max(1, static_cast<int>(config.items_per_community *
+                                   config.global_item_fraction *
+                                   config.num_communities));
+  std::vector<std::vector<ItemId>> pools(config.num_communities);
+  ItemId next_item = static_cast<ItemId>(num_global);
+  for (int k = 0; k < config.num_communities; ++k) {
+    auto& pool = pools[k];
+    pool.reserve(config.items_per_community);
+    const int num_shared =
+        static_cast<int>(config.items_per_community * config.global_item_fraction);
+    for (int i = 0; i < num_shared; ++i) {
+      pool.push_back(static_cast<ItemId>(rng->NextUint64(num_global)));
+    }
+    for (int i = num_shared; i < config.items_per_community; ++i) {
+      pool.push_back(next_item++);
+    }
+  }
+  return pools;
+}
+
+/// Assigns every item its candidate tags: mostly from the communities that
+/// own it, occasionally global, Zipf-ranked so that one or two tags dominate
+/// each item (which is what makes common (item, tag) actions likely).
+std::vector<std::vector<TagId>> BuildItemTags(
+    const SyntheticConfig& config,
+    const std::vector<std::vector<ItemId>>& community_items, Rng* rng) {
+  std::size_t max_item = 0;
+  for (const auto& pool : community_items) {
+    for (ItemId i : pool) max_item = std::max<std::size_t>(max_item, i);
+  }
+  std::vector<std::vector<TagId>> item_tags(max_item + 1);
+  const ZipfSampler tag_rank(config.tags_per_community, config.tag_zipf_skew);
+  for (int k = 0; k < config.num_communities; ++k) {
+    const TagId tag_base = static_cast<TagId>(k * config.tags_per_community);
+    for (ItemId item : community_items[k]) {
+      auto& tags = item_tags[item];
+      while (static_cast<int>(tags.size()) < config.tags_per_item) {
+        const TagId t = tag_base + static_cast<TagId>(tag_rank.Sample(rng));
+        // Keep candidates distinct but preserve the Zipf-ordered ranks:
+        // earlier candidates are the more popular tags for this item.
+        if (std::find(tags.begin(), tags.end(), t) == tags.end()) {
+          tags.push_back(t);
+        }
+      }
+    }
+  }
+  return item_tags;
+}
+
+}  // namespace
+
+std::vector<ActionKey> SyntheticTrace::DrawActionsForUser(UserId user,
+                                                          int num_items,
+                                                          Rng* rng) const {
+  std::vector<ActionKey> actions;
+  const int primary = user_community_[user];
+  const int secondary = user_secondary_[user];
+  const ZipfSampler item_rank(config_.items_per_community,
+                              config_.item_zipf_skew);
+  const ZipfSampler tag_rank(config_.tags_per_item, config_.tag_zipf_skew);
+  for (int n = 0; n < num_items; ++n) {
+    int community = primary;
+    if (secondary >= 0 && rng->NextBool(config_.secondary_pick_prob)) {
+      community = secondary;
+    }
+    const auto& pool = community_items_[community];
+    const ItemId item = pool[item_rank.Sample(rng) % pool.size()];
+    const auto& candidates = item_tags_[item];
+    const int num_tags = 1 + rng->NextPoisson(config_.extra_tags_mean);
+    for (int t = 0; t < num_tags; ++t) {
+      const TagId tag = candidates[tag_rank.Sample(rng) % candidates.size()];
+      actions.push_back(MakeAction(item, tag));
+    }
+  }
+  std::sort(actions.begin(), actions.end());
+  actions.erase(std::unique(actions.begin(), actions.end()), actions.end());
+  return actions;
+}
+
+SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig& config,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  SyntheticTrace trace;
+  trace.config_ = config;
+  trace.community_items_ = BuildCommunityItems(config, &rng);
+  trace.item_tags_ = BuildItemTags(config, trace.community_items_, &rng);
+
+  const ZipfSampler community_rank(config.num_communities,
+                                   config.community_zipf_skew);
+  const LogNormalSampler activity(config.activity_mu, config.activity_sigma);
+
+  trace.user_community_.resize(config.num_users);
+  trace.user_secondary_.resize(config.num_users, -1);
+  std::vector<std::vector<ActionKey>> user_actions(config.num_users);
+  for (int u = 0; u < config.num_users; ++u) {
+    trace.user_community_[u] = static_cast<int>(community_rank.Sample(&rng));
+    if (rng.NextBool(config.secondary_community_prob)) {
+      trace.user_secondary_[u] = static_cast<int>(community_rank.Sample(&rng));
+    }
+    int num_items = static_cast<int>(activity.Sample(&rng));
+    num_items = std::clamp(num_items, config.min_items_per_user,
+                           config.max_items_per_user);
+    user_actions[u] =
+        trace.DrawActionsForUser(static_cast<UserId>(u), num_items, &rng);
+  }
+  trace.dataset_ = Dataset(std::move(user_actions));
+  return trace;
+}
+
+UpdateBatch SyntheticTrace::MakeUpdateBatch(const UpdateConfig& config,
+                                            Rng* rng) const {
+  UpdateBatch batch;
+  const int num_users = config_.num_users;
+  // Long-tailed new-action counts: draw item counts from a geometric-ish
+  // mixture so the mean lands near mean_new_actions while a small fraction
+  // of users reach the max (matching the paper's avg 8 / max 268 day).
+  for (UserId u = 0; u < static_cast<UserId>(num_users); ++u) {
+    if (!rng->NextBool(config.changed_user_fraction)) continue;
+    double mean = config.mean_new_actions;
+    if (rng->NextBool(0.02)) mean = config.max_new_actions / 2.0;  // heavy tail
+    int new_items = 1 + rng->NextPoisson(std::max(0.0, mean / 3.0 - 1.0));
+    std::vector<ActionKey> actions = DrawActionsForUser(u, new_items, rng);
+    if (static_cast<int>(actions.size()) > config.max_new_actions) {
+      actions.resize(config.max_new_actions);
+    }
+    // Only keep actions genuinely absent from the current profile; the
+    // caller applies the batch to the store, which deduplicates anyway, but
+    // the batch statistics (Table 2) should count real additions.
+    const auto& existing = dataset_.ActionsOf(u);
+    std::vector<ActionKey> fresh;
+    for (ActionKey a : actions) {
+      if (!std::binary_search(existing.begin(), existing.end(), a)) {
+        fresh.push_back(a);
+      }
+    }
+    if (fresh.empty()) continue;
+    batch.updates.push_back(ProfileUpdate{u, std::move(fresh)});
+  }
+  return batch;
+}
+
+}  // namespace p3q

@@ -1,0 +1,37 @@
+#include "dataset/query_gen.h"
+
+#include <algorithm>
+
+namespace p3q {
+
+QuerySpec GenerateQueryForUser(const Dataset& dataset, UserId user, Rng* rng) {
+  QuerySpec query;
+  query.querier = user;
+  const auto& actions = dataset.ActionsOf(user);
+  if (actions.empty()) return query;
+  // Pick a random *item* (not a random action) so heavily-tagged items are
+  // not over-represented: sample an action, then take its whole item run.
+  const ActionKey pivot = actions[rng->NextUint64(actions.size())];
+  const ItemId item = ActionItem(pivot);
+  query.source_item = item;
+  const ActionKey lo = MakeAction(item, 0);
+  auto it = std::lower_bound(actions.begin(), actions.end(), lo);
+  while (it != actions.end() && ActionItem(*it) == item) {
+    query.tags.push_back(ActionTag(*it));
+    ++it;
+  }
+  std::sort(query.tags.begin(), query.tags.end());
+  return query;
+}
+
+std::vector<QuerySpec> GenerateQueries(const Dataset& dataset, Rng* rng) {
+  std::vector<QuerySpec> queries;
+  queries.reserve(dataset.NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
+    QuerySpec q = GenerateQueryForUser(dataset, u, rng);
+    if (!q.tags.empty()) queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace p3q

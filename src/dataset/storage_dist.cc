@@ -1,0 +1,63 @@
+#include "dataset/storage_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p3q {
+
+StorageDistribution StorageDistribution::Uniform(int c) {
+  StorageDistribution dist;
+  dist.buckets_ = {c};
+  dist.probabilities_ = {1.0};
+  dist.cumulative_ = {1.0};
+  return dist;
+}
+
+StorageDistribution StorageDistribution::TruncatedPoisson(double lambda,
+                                                          double scale) {
+  StorageDistribution dist;
+  double total = 0;
+  double pmf = std::exp(-lambda);  // P(X = 0)
+  std::vector<double> raw;
+  for (std::size_t k = 0; k < kStorageBuckets.size(); ++k) {
+    raw.push_back(pmf);
+    total += pmf;
+    pmf *= lambda / static_cast<double>(k + 1);  // advance to P(X = k+1)
+  }
+  double cumulative = 0;
+  for (std::size_t k = 0; k < kStorageBuckets.size(); ++k) {
+    int bucket = static_cast<int>(std::lround(kStorageBuckets[k] * scale));
+    dist.buckets_.push_back(std::max(1, bucket));
+    const double p = raw[k] / total;
+    dist.probabilities_.push_back(p);
+    cumulative += p;
+    dist.cumulative_.push_back(cumulative);
+  }
+  dist.cumulative_.back() = 1.0;  // guard against rounding
+  return dist;
+}
+
+int StorageDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  for (std::size_t k = 0; k < cumulative_.size(); ++k) {
+    if (u < cumulative_[k]) return buckets_[k];
+  }
+  return buckets_.back();
+}
+
+std::vector<int> StorageDistribution::AssignAll(std::size_t num_users,
+                                                Rng* rng) const {
+  std::vector<int> out(num_users);
+  for (auto& c : out) c = Sample(rng);
+  return out;
+}
+
+double StorageDistribution::Mean() const {
+  double mean = 0;
+  for (std::size_t k = 0; k < buckets_.size(); ++k) {
+    mean += buckets_[k] * probabilities_[k];
+  }
+  return mean;
+}
+
+}  // namespace p3q

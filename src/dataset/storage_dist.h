@@ -1,0 +1,57 @@
+// Storage-capability distributions (Table 1 of the paper).
+//
+// Experiments run either uniform systems (every user stores c profiles) or
+// heterogeneous ones where each user's c is drawn from the bucket set
+// {10, 20, 50, 100, 200, 500, 1000} with truncated-Poisson weights:
+// P(bucket k) = pmf_Poisson(λ, k) / Σ_{j=0..6} pmf_Poisson(λ, j). λ=1 models
+// mostly weak devices (73% of users store ≤20 profiles); λ=4 models a
+// storage-rich population. These weights reproduce Table 1 exactly.
+#ifndef P3Q_DATASET_STORAGE_DIST_H_
+#define P3Q_DATASET_STORAGE_DIST_H_
+
+#include <array>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace p3q {
+
+/// The paper's storage buckets.
+inline constexpr std::array<int, 7> kStorageBuckets = {10,  20,  50, 100,
+                                                       200, 500, 1000};
+
+/// A distribution over per-user stored-profile counts (c).
+class StorageDistribution {
+ public:
+  /// Every user stores exactly c profiles.
+  static StorageDistribution Uniform(int c);
+
+  /// Truncated Poisson over kStorageBuckets (Table 1), with buckets scaled
+  /// by `scale` (e.g. 0.1 when simulating 1000 users with s=100).
+  static StorageDistribution TruncatedPoisson(double lambda, double scale = 1.0);
+
+  /// Probability of each bucket (empty for Uniform — single implicit bucket).
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+  /// Bucket values after scaling.
+  const std::vector<int>& buckets() const { return buckets_; }
+
+  /// Draws one user's c.
+  int Sample(Rng* rng) const;
+
+  /// Draws c for every user id in [0, num_users).
+  std::vector<int> AssignAll(std::size_t num_users, Rng* rng) const;
+
+  /// Expected value of c under the distribution.
+  double Mean() const;
+
+ private:
+  std::vector<int> buckets_;
+  std::vector<double> probabilities_;  // same size as buckets_
+  std::vector<double> cumulative_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_DATASET_STORAGE_DIST_H_

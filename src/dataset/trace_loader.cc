@@ -1,0 +1,67 @@
+#include "dataset/trace_loader.h"
+
+#include <fstream>
+#include <unordered_map>
+
+namespace p3q {
+namespace {
+
+/// Interns a string, returning its dense id.
+std::uint32_t Intern(const std::string& name,
+                     std::unordered_map<std::string, std::uint32_t>* index,
+                     std::vector<std::string>* names) {
+  auto [it, inserted] =
+      index->emplace(name, static_cast<std::uint32_t>(names->size()));
+  if (inserted) names->push_back(name);
+  return it->second;
+}
+
+}  // namespace
+
+std::optional<LoadedTrace> LoadTaggingTrace(std::istream& in) {
+  LoadedTrace trace;
+  std::unordered_map<std::string, std::uint32_t> user_index;
+  std::unordered_map<std::string, std::uint32_t> item_index;
+  std::unordered_map<std::string, std::uint32_t> tag_index;
+  std::vector<std::vector<ActionKey>> user_actions;
+
+  std::string line;
+  std::size_t valid = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) {
+      ++trace.skipped_lines;
+      continue;
+    }
+    const std::size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos || tab2 + 1 >= line.size()) {
+      ++trace.skipped_lines;
+      continue;
+    }
+    const std::string user = line.substr(0, tab1);
+    const std::string item = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    const std::string tag = line.substr(tab2 + 1);
+    if (user.empty() || item.empty() || tag.empty()) {
+      ++trace.skipped_lines;
+      continue;
+    }
+    const UserId u = Intern(user, &user_index, &trace.user_names);
+    const ItemId i = Intern(item, &item_index, &trace.item_names);
+    const TagId t = Intern(tag, &tag_index, &trace.tag_names);
+    if (u >= user_actions.size()) user_actions.resize(u + 1);
+    user_actions[u].push_back(MakeAction(i, t));
+    ++valid;
+  }
+  if (valid == 0) return std::nullopt;
+  trace.dataset = Dataset(std::move(user_actions));
+  return trace;
+}
+
+std::optional<LoadedTrace> LoadTaggingTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return LoadTaggingTrace(in);
+}
+
+}  // namespace p3q

@@ -1,0 +1,40 @@
+// Loader for real collaborative-tagging traces.
+//
+// Anyone holding the original delicious crawl (or any trace with one
+// `user<TAB>item<TAB>tag` triple per line, arbitrary string identifiers) can
+// run every experiment on it: the loader maps string ids to dense integral
+// ids and produces the same Dataset the synthetic generator does.
+#ifndef P3Q_DATASET_TRACE_LOADER_H_
+#define P3Q_DATASET_TRACE_LOADER_H_
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace p3q {
+
+/// Result of loading a trace: the dataset plus the id dictionaries, so query
+/// results can be mapped back to the original string identifiers.
+struct LoadedTrace {
+  Dataset dataset;
+  std::vector<std::string> user_names;
+  std::vector<std::string> item_names;
+  std::vector<std::string> tag_names;
+  /// Lines skipped because they did not contain three tab-separated fields.
+  std::size_t skipped_lines = 0;
+};
+
+/// Parses a `user<TAB>item<TAB>tag` stream. Blank lines and lines starting
+/// with '#' are ignored; malformed lines are counted in skipped_lines.
+/// Returns std::nullopt when the stream contains no valid triple at all.
+std::optional<LoadedTrace> LoadTaggingTrace(std::istream& in);
+
+/// Convenience overload reading from a file path.
+std::optional<LoadedTrace> LoadTaggingTraceFile(const std::string& path);
+
+}  // namespace p3q
+
+#endif  // P3Q_DATASET_TRACE_LOADER_H_

@@ -1,0 +1,26 @@
+#include "dataset/trace_writer.h"
+
+#include <fstream>
+
+namespace p3q {
+
+std::size_t WriteTaggingTrace(const Dataset& dataset, std::ostream& out) {
+  std::size_t lines = 0;
+  for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
+    for (ActionKey a : dataset.ActionsOf(u)) {
+      out << 'u' << u << '\t' << 'i' << ActionItem(a) << '\t' << 't'
+          << ActionTag(a) << '\n';
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+bool WriteTaggingTraceFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTaggingTrace(dataset, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace p3q

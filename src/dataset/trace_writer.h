@@ -1,0 +1,23 @@
+// Writes a dataset back out as a `user<TAB>item<TAB>tag` trace — the same
+// format the loader reads, so synthetic traces can be exported, shared and
+// re-imported (or fed to other tools).
+#ifndef P3Q_DATASET_TRACE_WRITER_H_
+#define P3Q_DATASET_TRACE_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace p3q {
+
+/// Streams the dataset as tab-separated triples with numeric identifiers
+/// (`u<id>`, `i<id>`, `t<id>`). Returns the number of lines written.
+std::size_t WriteTaggingTrace(const Dataset& dataset, std::ostream& out);
+
+/// File convenience overload; returns false when the file cannot be opened.
+bool WriteTaggingTraceFile(const Dataset& dataset, const std::string& path);
+
+}  // namespace p3q
+
+#endif  // P3Q_DATASET_TRACE_WRITER_H_

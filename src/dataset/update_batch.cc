@@ -1,0 +1,24 @@
+#include "dataset/update_batch.h"
+
+namespace p3q {
+
+double UpdateBatch::MeanNewActions() const {
+  if (updates.empty()) return 0;
+  std::size_t total = 0;
+  for (const auto& u : updates) total += u.new_actions.size();
+  return static_cast<double>(total) / static_cast<double>(updates.size());
+}
+
+std::size_t UpdateBatch::MaxNewActions() const {
+  std::size_t max = 0;
+  for (const auto& u : updates) {
+    if (u.new_actions.size() > max) max = u.new_actions.size();
+  }
+  return max;
+}
+
+void UpdateBatch::ApplyTo(ProfileStore* store) const {
+  for (const auto& u : updates) store->ApplyUpdate(u.user, u.new_actions);
+}
+
+}  // namespace p3q

@@ -1,0 +1,41 @@
+// Profile-update batches: the dynamism workload of Section 3.4.1.
+//
+// An UpdateBatch is "these users add these tagging actions now". Applying it
+// to the ProfileStore publishes new snapshots; the freshness metrics
+// (AUR, Table 2, Figure 10) then compare replicas against the new versions.
+#ifndef P3Q_DATASET_UPDATE_BATCH_H_
+#define P3Q_DATASET_UPDATE_BATCH_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "profile/profile_store.h"
+
+namespace p3q {
+
+/// One user's contribution to an update batch.
+struct ProfileUpdate {
+  UserId user = kInvalidUser;
+  std::vector<ActionKey> new_actions;
+};
+
+/// A simultaneous batch of profile changes.
+struct UpdateBatch {
+  std::vector<ProfileUpdate> updates;
+
+  /// Users changed by this batch.
+  std::size_t NumChangedUsers() const { return updates.size(); }
+
+  /// Mean new actions per changed user.
+  double MeanNewActions() const;
+
+  /// Maximum new actions over changed users.
+  std::size_t MaxNewActions() const;
+
+  /// Publishes every update to the store (bumps versions).
+  void ApplyTo(ProfileStore* store) const;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_DATASET_UPDATE_BATCH_H_

@@ -1,0 +1,56 @@
+// Quality metrics of the evaluation section: success ratio (Fig. 2),
+// average update rate (Figs. 7 & 9, Table 2), new-neighbour discovery
+// (Fig. 10) and storage accounting (Fig. 5).
+#ifndef P3Q_EVAL_METRICS_EVAL_H_
+#define P3Q_EVAL_METRICS_EVAL_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/ideal_network.h"
+#include "core/p3q_system.h"
+#include "dataset/update_batch.h"
+
+namespace p3q {
+
+/// Figure 2's metric: averaged over users, the fraction of each user's
+/// ideal personal network already present in her gossip-built network.
+double AverageSuccessRatio(const P3QSystem& system, const IdealNetworks& ideal);
+
+/// AUR (Section 3.4.1): averaged over users holding at least one replica of
+/// a changed profile, the fraction of those replicas already refreshed to
+/// the owners' current versions. `changed` is the set of users whose
+/// profiles the update batch touched.
+double AverageUpdateRate(const P3QSystem& system,
+                         const std::unordered_set<UserId>& changed);
+
+/// AUR restricted to the given users (Figure 9 computes it over the users
+/// reached by eager gossip).
+double AverageUpdateRate(const P3QSystem& system,
+                         const std::unordered_set<UserId>& changed,
+                         const std::vector<UserId>& over_users);
+
+/// Per-user counts behind Table 2: how many stored replicas each user must
+/// refresh because of the batch. Returns one count per user (0 when none).
+std::vector<std::size_t> ProfilesToUpdatePerUser(
+    const P3QSystem& system, const std::unordered_set<UserId>& changed);
+
+/// Figure 10's metric: among users whose ideal personal network gained new
+/// neighbours between `ideal_before` and `ideal_after`, the fraction whose
+/// current network already contains *all* of those new neighbours.
+double FractionWithCompleteNewNetwork(const P3QSystem& system,
+                                      const IdealNetworks& ideal_before,
+                                      const IdealNetworks& ideal_after);
+
+/// Figure 5's metric for one user: total tagging actions in her stored
+/// replicas ("the overall storage for the profiles in the personal network
+/// is the sum of their lengths").
+std::size_t StoredProfileLength(const P3QSystem& system, UserId user);
+
+/// Helper: the set of users an update batch changes.
+std::unordered_set<UserId> ChangedUsers(const UpdateBatch& batch);
+
+}  // namespace p3q
+
+#endif  // P3Q_EVAL_METRICS_EVAL_H_

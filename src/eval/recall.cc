@@ -1,0 +1,20 @@
+#include "eval/recall.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace p3q {
+
+double RecallAtK(const std::vector<ItemId>& retrieved,
+                 const std::vector<ItemId>& relevant) {
+  if (relevant.empty()) return 1.0;
+  const std::unordered_set<ItemId> relevant_set(relevant.begin(),
+                                                relevant.end());
+  std::size_t hit = 0;
+  for (ItemId item : retrieved) {
+    if (relevant_set.count(item) > 0) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(relevant.size());
+}
+
+}  // namespace p3q

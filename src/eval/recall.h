@@ -1,0 +1,22 @@
+// Recall metric (Section 3.2.2).
+//
+//   R_k = |retrieved ∩ relevant| / |relevant|
+//
+// where "relevant" is the centralized reference top-k.
+#ifndef P3Q_EVAL_RECALL_H_
+#define P3Q_EVAL_RECALL_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace p3q {
+
+/// Fraction of relevant items retrieved; 1.0 when relevant is empty (an
+/// empty reference means there is nothing to miss).
+double RecallAtK(const std::vector<ItemId>& retrieved,
+                 const std::vector<ItemId>& relevant);
+
+}  // namespace p3q
+
+#endif  // P3Q_EVAL_RECALL_H_

@@ -1,0 +1,171 @@
+#include "profile/profile.h"
+
+#include <algorithm>
+
+namespace p3q {
+
+Profile::Profile(UserId owner, std::vector<ActionKey> actions,
+                 std::uint32_t version, std::size_t digest_bits)
+    : owner_(owner), version_(version), actions_(std::move(actions)),
+      num_items_(0), digest_(digest_bits) {
+  std::sort(actions_.begin(), actions_.end());
+  actions_.erase(std::unique(actions_.begin(), actions_.end()), actions_.end());
+  ItemId last = kInvalidItem;
+  for (ActionKey a : actions_) {
+    const ItemId item = ActionItem(a);
+    if (item != last) {
+      ++num_items_;
+      digest_.Insert(item);
+      last = item;
+    }
+  }
+}
+
+bool Profile::Contains(ItemId item, TagId tag) const {
+  return std::binary_search(actions_.begin(), actions_.end(),
+                            MakeAction(item, tag));
+}
+
+bool Profile::ContainsItem(ItemId item) const {
+  const ActionKey lo = MakeAction(item, 0);
+  auto it = std::lower_bound(actions_.begin(), actions_.end(), lo);
+  return it != actions_.end() && ActionItem(*it) == item;
+}
+
+std::size_t CountCommonActions(const std::vector<ActionKey>& a,
+                               const std::vector<ActionKey>& b) {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::size_t Profile::SimilarityWith(const Profile& other) const {
+  return CountCommonActions(actions_, other.actions_);
+}
+
+std::vector<ItemId> Profile::CommonItems(const Profile& other) const {
+  std::vector<ItemId> common;
+  std::size_t i = 0, j = 0;
+  const auto& a = actions_;
+  const auto& b = other.actions_;
+  while (i < a.size() && j < b.size()) {
+    const ItemId ia = ActionItem(a[i]);
+    const ItemId ib = ActionItem(b[j]);
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      common.push_back(ia);
+      // Skip the rest of this item's run on both sides.
+      while (i < a.size() && ActionItem(a[i]) == ia) ++i;
+      while (j < b.size() && ActionItem(b[j]) == ia) ++j;
+    }
+  }
+  return common;
+}
+
+bool Profile::SharesItemWith(const Profile& other) const {
+  std::size_t i = 0, j = 0;
+  const auto& a = actions_;
+  const auto& b = other.actions_;
+  while (i < a.size() && j < b.size()) {
+    const ItemId ia = ActionItem(a[i]);
+    const ItemId ib = ActionItem(b[j]);
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ActionKey> Profile::ActionsOnItems(
+    const std::vector<ItemId>& items) const {
+  std::vector<ActionKey> out;
+  for (ItemId item : items) {
+    const ActionKey lo = MakeAction(item, 0);
+    auto it = std::lower_bound(actions_.begin(), actions_.end(), lo);
+    while (it != actions_.end() && ActionItem(*it) == item) {
+      out.push_back(*it);
+      ++it;
+    }
+  }
+  return out;
+}
+
+PairSimilarity ComputePairSimilarity(const Profile& a, const Profile& b) {
+  PairSimilarity sim;
+  const auto& va = a.actions();
+  const auto& vb = b.actions();
+  std::size_t i = 0, j = 0;
+  while (i < va.size() && j < vb.size()) {
+    const ItemId ia = ActionItem(va[i]);
+    const ItemId ib = ActionItem(vb[j]);
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      // Same item on both sides: walk the two runs, counting exact action
+      // matches and the run lengths.
+      ++sim.common_items;
+      const std::size_t ri = i;
+      const std::size_t rj = j;
+      while (i < va.size() && ActionItem(va[i]) == ia) ++i;
+      while (j < vb.size() && ActionItem(vb[j]) == ia) ++j;
+      sim.a_actions_on_common += static_cast<std::uint32_t>(i - ri);
+      sim.b_actions_on_common += static_cast<std::uint32_t>(j - rj);
+      std::size_t x = ri, y = rj;
+      while (x < i && y < j) {
+        if (va[x] < vb[y]) {
+          ++x;
+        } else if (vb[y] < va[x]) {
+          ++y;
+        } else {
+          ++sim.score;
+          ++x;
+          ++y;
+        }
+      }
+    }
+  }
+  return sim;
+}
+
+std::vector<std::pair<ItemId, std::uint32_t>> Profile::ScoreQuery(
+    const std::vector<TagId>& sorted_query_tags) const {
+  std::vector<std::pair<ItemId, std::uint32_t>> scores;
+  ItemId current = kInvalidItem;
+  std::uint32_t count = 0;
+  for (ActionKey a : actions_) {
+    const ItemId item = ActionItem(a);
+    if (item != current) {
+      if (count > 0) scores.emplace_back(current, count);
+      current = item;
+      count = 0;
+    }
+    if (std::binary_search(sorted_query_tags.begin(), sorted_query_tags.end(),
+                           ActionTag(a))) {
+      ++count;
+    }
+  }
+  if (count > 0) scores.emplace_back(current, count);
+  return scores;
+}
+
+}  // namespace p3q

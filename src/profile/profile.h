@@ -1,0 +1,114 @@
+// Tagging profiles (Section 2.1 of the paper).
+//
+// Profile(u) = { Tagged_u(i, t) } — the set of a user's tagging actions. The
+// similarity score between two users is the number of common actions:
+//   Score_a(b) = |Profile(a) ∩ Profile(b)|
+// and the per-item relevance of a profile for a query Q = {t1..tn} is
+//   Score_{u,Q}(i) = |{ t ∈ Q : Tagged_u(i, t) }|.
+//
+// Profiles are immutable snapshots: updating a user's profile creates a new
+// snapshot with a bumped version. Replicas held by other users are
+// shared_ptr's to snapshots, so a replica is stale exactly when its version
+// is older than the owner's current version — which is how the dynamism
+// experiments (Figures 7, 9, 10, Table 2) measure freshness.
+#ifndef P3Q_PROFILE_PROFILE_H_
+#define P3Q_PROFILE_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/types.h"
+
+namespace p3q {
+
+/// An immutable snapshot of one user's tagging profile.
+class Profile {
+ public:
+  /// Builds a snapshot from (possibly unsorted, possibly duplicated) packed
+  /// actions. Actions are sorted and deduplicated.
+  Profile(UserId owner, std::vector<ActionKey> actions, std::uint32_t version,
+          std::size_t digest_bits = kDefaultDigestBits);
+
+  UserId owner() const { return owner_; }
+  std::uint32_t version() const { return version_; }
+
+  /// Sorted unique tagging actions.
+  const std::vector<ActionKey>& actions() const { return actions_; }
+
+  /// The paper's "length of profile": number of tagging actions.
+  std::size_t Length() const { return actions_.size(); }
+
+  /// Number of distinct items tagged.
+  std::size_t NumItems() const { return num_items_; }
+
+  /// Bloom digest over the profile's items (what gossip messages carry).
+  const BloomFilter& digest() const { return digest_; }
+
+  /// True when the action Tagged(item, tag) is present.
+  bool Contains(ItemId item, TagId tag) const;
+
+  /// True when at least one action concerns the item.
+  bool ContainsItem(ItemId item) const;
+
+  /// Similarity score: number of tagging actions shared with other.
+  std::size_t SimilarityWith(const Profile& other) const;
+
+  /// Items present in both profiles (sorted ascending).
+  std::vector<ItemId> CommonItems(const Profile& other) const;
+
+  /// True when the two profiles share at least one item (exact check; the
+  /// digest gives the probabilistic version).
+  bool SharesItemWith(const Profile& other) const;
+
+  /// All actions of this profile whose item belongs to `items` (sorted input
+  /// required). This is step 2 of Algorithm 1: "require her tagging actions
+  /// for the common items".
+  std::vector<ActionKey> ActionsOnItems(const std::vector<ItemId>& items) const;
+
+  /// Per-item query scores Score_{u,Q}(i) for every item with positive score,
+  /// as (item, score) pairs sorted by item id ascending.
+  std::vector<std::pair<ItemId, std::uint32_t>> ScoreQuery(
+      const std::vector<TagId>& sorted_query_tags) const;
+
+  /// Wire cost of shipping the full profile (36 B per action, Section 3.3).
+  std::size_t WireBytes() const { return actions_.size() * kBytesPerTaggingAction; }
+
+ private:
+  UserId owner_;
+  std::uint32_t version_;
+  std::vector<ActionKey> actions_;
+  std::size_t num_items_;
+  BloomFilter digest_;
+};
+
+/// Shared handle to an immutable profile snapshot. Copying a replica is one
+/// refcount increment regardless of profile size.
+using ProfilePtr = std::shared_ptr<const Profile>;
+
+/// Counts the common actions of two sorted unique action vectors (the
+/// similarity kernel; exposed for tests and benchmarks).
+std::size_t CountCommonActions(const std::vector<ActionKey>& a,
+                               const std::vector<ActionKey>& b);
+
+/// Everything the lazy-mode 3-step exchange needs to know about a profile
+/// pair, computed in one merge pass:
+///  - score: |Profile(a) ∩ Profile(b)| (the similarity),
+///  - common_items: items tagged by both,
+///  - a_actions_on_common / b_actions_on_common: how many of each side's
+///    actions concern common items (step 2 of Algorithm 1 ships exactly
+///    those actions, so they drive the byte accounting).
+struct PairSimilarity {
+  std::uint64_t score = 0;
+  std::uint32_t common_items = 0;
+  std::uint32_t a_actions_on_common = 0;
+  std::uint32_t b_actions_on_common = 0;
+};
+
+/// Computes PairSimilarity for two profiles.
+PairSimilarity ComputePairSimilarity(const Profile& a, const Profile& b);
+
+}  // namespace p3q
+
+#endif  // P3Q_PROFILE_PROFILE_H_

@@ -1,0 +1,32 @@
+#include "profile/profile_store.h"
+
+#include <cassert>
+
+namespace p3q {
+
+void ProfileStore::AddUser(UserId user, std::vector<ActionKey> actions,
+                           std::size_t digest_bits) {
+  assert(user == current_.size() && "users must be added in id order");
+  (void)user;
+  digest_bits_ = digest_bits;
+  current_.push_back(std::make_shared<Profile>(
+      static_cast<UserId>(current_.size()), std::move(actions), 0, digest_bits));
+}
+
+ProfilePtr ProfileStore::ApplyUpdate(UserId user,
+                                     const std::vector<ActionKey>& new_actions) {
+  const ProfilePtr& old = current_[user];
+  std::vector<ActionKey> merged = old->actions();
+  merged.insert(merged.end(), new_actions.begin(), new_actions.end());
+  current_[user] = std::make_shared<Profile>(user, std::move(merged),
+                                             old->version() + 1, digest_bits_);
+  return current_[user];
+}
+
+std::size_t ProfileStore::TotalActions() const {
+  std::size_t total = 0;
+  for (const auto& p : current_) total += p->Length();
+  return total;
+}
+
+}  // namespace p3q

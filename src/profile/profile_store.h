@@ -1,0 +1,58 @@
+// Authoritative per-user profile versions.
+//
+// The store owns, for every user, the *current* snapshot of her profile.
+// Nodes in the simulation hold ProfilePtr replicas; comparing a replica's
+// version with the store's current version tells whether the replica is
+// stale. Applying an update batch (users tagging new items, Section 3.4.1)
+// publishes new snapshots without touching existing replicas.
+#ifndef P3Q_PROFILE_PROFILE_STORE_H_
+#define P3Q_PROFILE_PROFILE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/profile.h"
+
+namespace p3q {
+
+/// Owns the current profile snapshot of every user.
+class ProfileStore {
+ public:
+  ProfileStore() = default;
+
+  /// Initializes user `user`'s profile from raw actions at version 0. Users
+  /// must be added with consecutive ids starting at 0.
+  void AddUser(UserId user, std::vector<ActionKey> actions,
+               std::size_t digest_bits = kDefaultDigestBits);
+
+  /// Number of users.
+  std::size_t NumUsers() const { return current_.size(); }
+
+  /// Current snapshot of a user's profile.
+  const ProfilePtr& Get(UserId user) const { return current_[user]; }
+
+  /// Current version number of a user's profile.
+  std::uint32_t CurrentVersion(UserId user) const {
+    return current_[user]->version();
+  }
+
+  /// True when the replica is the newest snapshot of its owner.
+  bool IsFresh(const Profile& replica) const {
+    return replica.version() == CurrentVersion(replica.owner());
+  }
+
+  /// Publishes a new snapshot for `user` containing her previous actions
+  /// plus `new_actions`; bumps the version. Returns the new snapshot.
+  ProfilePtr ApplyUpdate(UserId user, const std::vector<ActionKey>& new_actions);
+
+  /// Total number of tagging actions across all current snapshots.
+  std::size_t TotalActions() const;
+
+ private:
+  std::vector<ProfilePtr> current_;
+  std::size_t digest_bits_ = kDefaultDigestBits;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_PROFILE_PROFILE_STORE_H_

@@ -1,0 +1,26 @@
+#include "sim/engine.h"
+
+#include <numeric>
+
+namespace p3q {
+
+Engine::Engine(std::size_t num_nodes, std::uint64_t seed)
+    : order_(num_nodes), rng_(seed) {
+  std::iota(order_.begin(), order_.end(), UserId{0});
+}
+
+void Engine::RunCycles(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rng_.Shuffle(&order_);
+    for (CycleProtocol* protocol : protocols_) {
+      for (UserId node : order_) {
+        if (liveness_ && !liveness_(node)) continue;
+        protocol->RunCycle(node, cycle_);
+      }
+    }
+    for (auto& observer : observers_) observer(cycle_);
+    ++cycle_;
+  }
+}
+
+}  // namespace p3q

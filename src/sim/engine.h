@@ -1,0 +1,66 @@
+// Cycle-driven simulation engine (the PeerSim substitute).
+//
+// PeerSim's cycle-based mode invokes, once per cycle, the nextCycle() hook
+// of every node's protocol in randomized order, then runs registered
+// Controls (observers). Engine reproduces exactly that contract: protocols
+// implement CycleProtocol, observers are callables invoked after every
+// cycle with the cycle number.
+#ifndef P3Q_SIM_ENGINE_H_
+#define P3Q_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace p3q {
+
+/// A per-node protocol driven by the cycle engine.
+class CycleProtocol {
+ public:
+  virtual ~CycleProtocol() = default;
+
+  /// Invoked once per cycle for every online node, in randomized order.
+  virtual void RunCycle(UserId node, std::uint64_t cycle) = 0;
+};
+
+/// Cycle scheduler: randomized node order, post-cycle observers.
+class Engine {
+ public:
+  /// num_nodes: population size; seed: drives the per-cycle shuffling.
+  Engine(std::size_t num_nodes, std::uint64_t seed);
+
+  /// Registers a protocol; all registered protocols run every cycle.
+  void AddProtocol(CycleProtocol* protocol) { protocols_.push_back(protocol); }
+
+  /// Registers an observer called after every cycle with the cycle index.
+  void AddObserver(std::function<void(std::uint64_t)> observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  /// Optional liveness filter: nodes for which this returns false are
+  /// skipped (offline users do not initiate gossip).
+  void SetLivenessCheck(std::function<bool(UserId)> check) {
+    liveness_ = std::move(check);
+  }
+
+  /// Runs n cycles.
+  void RunCycles(std::uint64_t n);
+
+  /// Cycles completed so far.
+  std::uint64_t CurrentCycle() const { return cycle_; }
+
+ private:
+  std::vector<CycleProtocol*> protocols_;
+  std::vector<std::function<void(std::uint64_t)>> observers_;
+  std::function<bool(UserId)> liveness_;
+  std::vector<UserId> order_;
+  Rng rng_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_SIM_ENGINE_H_

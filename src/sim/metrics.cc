@@ -1,0 +1,53 @@
+#include "sim/metrics.h"
+
+namespace p3q {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kRandomViewGossip:
+      return "random_view_gossip";
+    case MessageType::kLazyDigestProposal:
+      return "lazy_digest_proposal";
+    case MessageType::kLazyCommonItems:
+      return "lazy_common_items";
+    case MessageType::kLazyFullProfile:
+      return "lazy_full_profile";
+    case MessageType::kDirectProfileFetch:
+      return "direct_profile_fetch";
+    case MessageType::kEagerQueryForward:
+      return "eager_query_forward";
+    case MessageType::kEagerQueryReturn:
+      return "eager_query_return";
+    case MessageType::kPartialResult:
+      return "partial_result";
+    case MessageType::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+std::uint64_t Metrics::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.bytes;
+  return total;
+}
+
+std::uint64_t Metrics::TotalMessages() const {
+  std::uint64_t total = 0;
+  for (const auto& s : stats_) total += s.messages;
+  return total;
+}
+
+Metrics Metrics::Since(const Metrics& earlier) const {
+  Metrics delta;
+  for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+    delta.stats_[i] = stats_[i] - earlier.stats_[i];
+  }
+  return delta;
+}
+
+void Metrics::Reset() {
+  for (auto& s : stats_) s = MessageStats{};
+}
+
+}  // namespace p3q

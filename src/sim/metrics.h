@@ -1,0 +1,80 @@
+// Message and bandwidth accounting for the simulator.
+//
+// Every message the protocols exchange is recorded here with its wire size
+// (computed from the paper's cost model in common/types.h). The bandwidth
+// figures of Section 3.3 — lazy-mode maintenance traffic, per-query traffic
+// split by message kind, messages per query — are all derived from these
+// counters.
+#ifndef P3Q_SIM_METRICS_H_
+#define P3Q_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace p3q {
+
+/// Every kind of message P3Q puts on the wire.
+enum class MessageType : int {
+  kRandomViewGossip = 0,  ///< bottom layer: r profile digests each way
+  kLazyDigestProposal,    ///< top layer step 1: proposed profile digests
+  kLazyCommonItems,       ///< top layer step 2: actions on common items
+  kLazyFullProfile,       ///< top layer step 3: remaining profile actions
+  kDirectProfileFetch,    ///< random-view probe: full profile from owner
+  kEagerQueryForward,     ///< eager gossip: query + forwarded remaining list
+  kEagerQueryReturn,      ///< eager gossip reply: returned remaining list
+  kPartialResult,         ///< partial result list sent to the querier
+  kCount
+};
+
+/// Human-readable name of a message type.
+const char* MessageTypeName(MessageType type);
+
+/// Count/byte totals for one message type.
+struct MessageStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+
+  void Add(std::uint64_t b) {
+    ++messages;
+    bytes += b;
+  }
+  MessageStats operator-(const MessageStats& other) const {
+    return MessageStats{messages - other.messages, bytes - other.bytes};
+  }
+};
+
+/// Aggregated traffic counters, indexable by MessageType.
+class Metrics {
+ public:
+  /// Records one message of `type` carrying `bytes` payload bytes.
+  void Record(MessageType type, std::uint64_t bytes) {
+    stats_[static_cast<int>(type)].Add(bytes);
+  }
+
+  const MessageStats& Of(MessageType type) const {
+    return stats_[static_cast<int>(type)];
+  }
+
+  /// Sum of bytes over all message types.
+  std::uint64_t TotalBytes() const;
+
+  /// Sum of message counts over all message types.
+  std::uint64_t TotalMessages() const;
+
+  /// Copy of the current counters (use to compute per-phase deltas).
+  Metrics Snapshot() const { return *this; }
+
+  /// Per-type difference (this - earlier).
+  Metrics Since(const Metrics& earlier) const;
+
+  /// Zeroes every counter.
+  void Reset();
+
+ private:
+  std::array<MessageStats, static_cast<int>(MessageType::kCount)> stats_{};
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_SIM_METRICS_H_

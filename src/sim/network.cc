@@ -1,0 +1,30 @@
+#include "sim/network.h"
+
+namespace p3q {
+
+Network::Network(std::size_t num_users)
+    : online_(num_users, 1), num_online_(num_users) {}
+
+void Network::SetOnline(UserId user, bool online) {
+  if (online_[user] == static_cast<char>(online)) return;
+  online_[user] = static_cast<char>(online);
+  if (online) {
+    ++num_online_;
+  } else {
+    --num_online_;
+  }
+}
+
+std::vector<UserId> Network::FailRandomFraction(double fraction, Rng* rng) {
+  std::vector<UserId> alive;
+  for (UserId u = 0; u < static_cast<UserId>(online_.size()); ++u) {
+    if (online_[u]) alive.push_back(u);
+  }
+  const std::size_t num_leaving =
+      static_cast<std::size_t>(static_cast<double>(alive.size()) * fraction);
+  std::vector<UserId> leaving = rng->SampleWithoutReplacement(alive, num_leaving);
+  for (UserId u : leaving) SetOnline(u, false);
+  return leaving;
+}
+
+}  // namespace p3q

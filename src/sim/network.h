@@ -1,0 +1,58 @@
+// Simulated peer-to-peer network: membership, liveness and traffic.
+//
+// The cycle-driven engine calls into protocol code, which "sends messages"
+// by invoking methods on peer nodes through this class: the network checks
+// the peer is online and records the message's wire cost. Churn (Section
+// 3.4.2) is modelled by flipping users offline; an offline user neither
+// initiates nor answers gossip, but replicas of her profile held by others
+// keep serving queries.
+#ifndef P3Q_SIM_NETWORK_H_
+#define P3Q_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "sim/metrics.h"
+
+namespace p3q {
+
+/// Liveness registry plus traffic accounting for a population of users.
+class Network {
+ public:
+  explicit Network(std::size_t num_users);
+
+  std::size_t NumUsers() const { return online_.size(); }
+
+  /// True when the user answers messages.
+  bool IsOnline(UserId user) const { return online_[user]; }
+
+  /// Marks a user online/offline.
+  void SetOnline(UserId user, bool online);
+
+  /// Number of currently-online users.
+  std::size_t NumOnline() const { return num_online_; }
+
+  /// Takes a uniformly random `fraction` of currently-online users offline
+  /// simultaneously (the paper's massive-departure scenario). Returns the
+  /// users that left.
+  std::vector<UserId> FailRandomFraction(double fraction, Rng* rng);
+
+  /// Records a message on the wire.
+  void RecordMessage(MessageType type, std::uint64_t bytes) {
+    metrics_.Record(type, bytes);
+  }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  std::vector<char> online_;
+  std::size_t num_online_;
+  Metrics metrics_;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_SIM_NETWORK_H_

@@ -1,0 +1,94 @@
+// Tests for core/analysis: the closed forms of Theorems 2.1-2.4.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+
+namespace p3q {
+namespace {
+
+TEST(AnalysisTest, ExtremesAreLinear) {
+  EXPECT_DOUBLE_EQ(QueryCompletionCycles(0.0, 100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QueryCompletionCycles(1.0, 100, 10), 10.0);
+}
+
+TEST(AnalysisTest, ZeroRemainingNeedsZeroCycles) {
+  EXPECT_DOUBLE_EQ(QueryCompletionCycles(0.5, 0, 10), 0.0);
+}
+
+TEST(AnalysisTest, AlphaHalfIsLogarithmic) {
+  // R(0.5) = 1 - log_0.5(0.5 L/X + 0.5) = 1 + log2(L/X + 1) - 1
+  const double r = QueryCompletionCycles(0.5, 1000, 1);
+  EXPECT_NEAR(r, std::log2(1000.0 + 1.0), 0.01);
+}
+
+TEST(AnalysisTest, SymmetricAroundHalf) {
+  // R(α) = R(1-α) by the two branch formulas.
+  for (double alpha : {0.1, 0.2, 0.3, 0.4}) {
+    EXPECT_NEAR(QueryCompletionCycles(alpha, 500, 5),
+                QueryCompletionCycles(1.0 - alpha, 500, 5), 1e-9)
+        << alpha;
+  }
+}
+
+TEST(AnalysisTest, MinimumAtAlphaHalf) {
+  const double at_half = QueryCompletionCycles(OptimalAlpha(), 990, 10);
+  for (double alpha : {0.01, 0.1, 0.25, 0.4, 0.45, 0.55, 0.6, 0.75, 0.9, 0.99}) {
+    EXPECT_LE(at_half, QueryCompletionCycles(alpha, 990, 10)) << alpha;
+  }
+}
+
+TEST(AnalysisTest, MonotoneAwayFromHalf) {
+  // Theorem 2.2: increasing on [0.5, 1), decreasing on (0, 0.5).
+  double last = QueryCompletionCycles(0.5, 2000, 10);
+  for (double alpha = 0.55; alpha < 0.99; alpha += 0.05) {
+    const double r = QueryCompletionCycles(alpha, 2000, 10);
+    EXPECT_GT(r, last) << alpha;
+    last = r;
+  }
+  last = QueryCompletionCycles(0.5, 2000, 10);
+  for (double alpha = 0.45; alpha > 0.01; alpha -= 0.05) {
+    const double r = QueryCompletionCycles(alpha, 2000, 10);
+    EXPECT_GT(r, last) << alpha;
+    last = r;
+  }
+}
+
+TEST(AnalysisTest, ClosedFormTracksDiscreteRecursion) {
+  for (double alpha : {0.5, 0.6, 0.7, 0.9}) {
+    for (double L : {100.0, 500.0, 2000.0}) {
+      const double closed = QueryCompletionCycles(alpha, L, 10);
+      const int discrete = SimulateCompletionCycles(alpha, L, 10);
+      // The discrete process hits zero within one cycle of the real-valued
+      // closed form (ceil effect).
+      EXPECT_NEAR(static_cast<double>(discrete), closed, 1.5)
+          << "alpha=" << alpha << " L=" << L;
+    }
+  }
+}
+
+TEST(AnalysisTest, DiscreteRecursionEdgeCases) {
+  EXPECT_EQ(SimulateCompletionCycles(0.5, 0, 10), 0);
+  EXPECT_EQ(SimulateCompletionCycles(0.5, 5, 10), 1);  // one gossip suffices
+  // alpha=1: linear, exactly L/X cycles.
+  EXPECT_EQ(SimulateCompletionCycles(1.0, 100, 10), 10);
+}
+
+TEST(AnalysisTest, BoundsOfTheorems23And24) {
+  const double r = 4.0;
+  EXPECT_DOUBLE_EQ(MaxUsersInvolved(r), 16.0);
+  EXPECT_DOUBLE_EQ(MaxPartialResults(r), 15.0);
+  EXPECT_DOUBLE_EQ(MaxEagerMessages(r), 30.0);
+}
+
+TEST(AnalysisTest, PaperScaleExample) {
+  // Paper setting: s=1000, c=10 => L=990, and ~10 cycles suffice at α=0.5
+  // ("top-k queries can be accurately satisfied within 10 gossip cycles").
+  const double r = QueryCompletionCycles(0.5, 990, 100);
+  EXPECT_LT(r, 10.0);
+  EXPECT_GT(r, 2.0);
+}
+
+}  // namespace
+}  // namespace p3q

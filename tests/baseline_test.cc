@@ -1,0 +1,100 @@
+// Tests for baseline/: ideal k-NN networks and the centralized reference.
+#include <gtest/gtest.h>
+
+#include "baseline/centralized_topk.h"
+#include "baseline/ideal_network.h"
+#include "dataset/generator.h"
+
+namespace p3q {
+namespace {
+
+TEST(IdealNetworkTest, MatchesBruteForceOnSmallTrace) {
+  const SyntheticTrace trace =
+      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 7);
+  const Dataset& d = trace.dataset();
+  const int s = 10;
+  const IdealNetworks ideal = ComputeIdealNetworks(d, s);
+  ASSERT_EQ(ideal.size(), 80u);
+
+  for (UserId u = 0; u < 80; ++u) {
+    // Brute force: all-pairs intersection.
+    std::vector<std::pair<UserId, std::uint64_t>> brute;
+    for (UserId v = 0; v < 80; ++v) {
+      if (v == u) continue;
+      const std::uint64_t score =
+          CountCommonActions(d.ActionsOf(u), d.ActionsOf(v));
+      if (score > 0) brute.emplace_back(v, score);
+    }
+    std::sort(brute.begin(), brute.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (brute.size() > static_cast<std::size_t>(s)) brute.resize(s);
+    EXPECT_EQ(ideal[u], brute) << "user " << u;
+  }
+}
+
+TEST(IdealNetworkTest, ScoresPositiveAndSorted) {
+  const SyntheticTrace trace =
+      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(120), 9);
+  const IdealNetworks ideal = ComputeIdealNetworks(trace.dataset(), 15);
+  for (const auto& list : ideal) {
+    EXPECT_LE(list.size(), 15u);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_GT(list[i].second, 0u);
+      if (i > 0) {
+        EXPECT_GE(list[i - 1].second, list[i].second);
+      }
+    }
+  }
+}
+
+TEST(IdealNetworkTest, StoreOverloadSeesUpdatedProfiles) {
+  const SyntheticTrace trace =
+      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(60), 11);
+  ProfileStore store = trace.dataset().BuildProfileStore(1024);
+  const IdealNetworks before = ComputeIdealNetworks(store, 8);
+  // Clone user 0's profile onto user 1: they become maximally similar.
+  store.ApplyUpdate(1, store.Get(0)->actions());
+  const IdealNetworks after = ComputeIdealNetworks(store, 8);
+  ASSERT_FALSE(after[0].empty());
+  EXPECT_EQ(after[0][0].first, 1u);
+  EXPECT_EQ(after[0][0].second, store.Get(0)->Length());
+  EXPECT_NE(before[0], after[0]);
+}
+
+TEST(CentralizedTopKTest, HandComputedExample) {
+  auto make = [](UserId owner, std::vector<std::pair<ItemId, TagId>> pairs) {
+    std::vector<ActionKey> actions;
+    for (auto [i, t] : pairs) actions.push_back(MakeAction(i, t));
+    return std::make_shared<Profile>(owner, std::move(actions), 0, 1024);
+  };
+  // Query tags {1, 2}. Profile A: item 10 gets both tags (score 2), item 20
+  // gets tag 1. Profile B: item 10 gets tag 2, item 30 gets tag 1.
+  const std::vector<ProfilePtr> profiles = {
+      make(1, {{10, 1}, {10, 2}, {20, 1}, {40, 9}}),
+      make(2, {{10, 2}, {30, 1}})};
+  const auto ranked = CentralizedTopK(profiles, {1, 2}, 10);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], (std::pair<ItemId, std::uint64_t>{10, 3}));
+  EXPECT_EQ(ranked[1], (std::pair<ItemId, std::uint64_t>{20, 1}));  // tie: id
+  EXPECT_EQ(ranked[2], (std::pair<ItemId, std::uint64_t>{30, 1}));
+}
+
+TEST(CentralizedTopKTest, TruncatesToK) {
+  auto make = [](UserId owner, std::vector<std::pair<ItemId, TagId>> pairs) {
+    std::vector<ActionKey> actions;
+    for (auto [i, t] : pairs) actions.push_back(MakeAction(i, t));
+    return std::make_shared<Profile>(owner, std::move(actions), 0, 1024);
+  };
+  const std::vector<ProfilePtr> profiles = {
+      make(1, {{1, 1}, {2, 1}, {3, 1}, {4, 1}})};
+  EXPECT_EQ(CentralizedTopK(profiles, {1}, 2).size(), 2u);
+}
+
+TEST(CentralizedTopKTest, EmptyInputs) {
+  EXPECT_TRUE(CentralizedTopK({}, {1, 2}, 5).empty());
+}
+
+}  // namespace
+}  // namespace p3q

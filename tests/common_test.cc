@@ -1,0 +1,293 @@
+// Unit tests for common/: RNG, long-tail samplers, table printing, env.
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "common/types.h"
+#include "common/zipf.h"
+
+namespace p3q {
+namespace {
+
+TEST(ActionKeyTest, PackUnpackRoundTrip) {
+  const ActionKey a = MakeAction(123456, 654321);
+  EXPECT_EQ(ActionItem(a), 123456u);
+  EXPECT_EQ(ActionTag(a), 654321u);
+}
+
+TEST(ActionKeyTest, SortsByItemFirst) {
+  EXPECT_LT(MakeAction(1, 999999), MakeAction(2, 0));
+  EXPECT_LT(MakeAction(5, 1), MakeAction(5, 2));
+}
+
+TEST(ActionKeyTest, ExtremeValues) {
+  const ActionKey a = MakeAction(0xffffffffu, 0xffffffffu);
+  EXPECT_EQ(ActionItem(a), 0xffffffffu);
+  EXPECT_EQ(ActionTag(a), 0xffffffffu);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextUint64(bound), bound);
+  }
+}
+
+TEST(RngTest, NextUint64CoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextUint64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanSmallLambda) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeLambda) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(21);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+  EXPECT_EQ(rng.NextPoisson(-1.0), 0);
+}
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(71);
+  EXPECT_EQ(rng.NextBinomial(0, 0.5), 0);
+  EXPECT_EQ(rng.NextBinomial(10, 0.0), 0);
+  EXPECT_EQ(rng.NextBinomial(10, 1.0), 10);
+  for (int i = 0; i < 200; ++i) {
+    const int v = rng.NextBinomial(20, 0.3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(RngTest, BinomialMeanSmallAndLargeN) {
+  Rng rng(73);
+  double sum_small = 0, sum_large = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    sum_small += rng.NextBinomial(20, 0.25);   // exact path
+    sum_large += rng.NextBinomial(500, 0.25);  // normal approximation
+  }
+  EXPECT_NEAR(sum_small / trials, 5.0, 0.2);
+  EXPECT_NEAR(sum_large / trials, 125.0, 2.0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(29);
+  std::vector<int> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(v, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (int x : sample) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 100);
+  }
+}
+
+TEST(RngTest, SampleMoreThanAvailableReturnsAll) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(rng.SampleWithoutReplacement(v, 10).size(), 3u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(v, 0).empty());
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  Rng rng(41);
+  const ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(ZipfTest, RankZeroDominates) {
+  Rng rng(43);
+  const ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  // Zipf(1): P(0)/P(9) = 10; allow wide tolerance.
+  EXPECT_GT(counts[0], counts[9] * 3);
+  EXPECT_GT(counts[0], counts[99] * 10);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMore) {
+  Rng rng(47);
+  const ZipfSampler mild(1000, 0.5);
+  const ZipfSampler steep(1000, 1.5);
+  auto top10_mass = [&rng](const ZipfSampler& z) {
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) hits += z.Sample(&rng) < 10 ? 1 : 0;
+    return hits;
+  };
+  EXPECT_GT(top10_mass(steep), top10_mass(mild));
+}
+
+TEST(ZipfTest, SingleRank) {
+  Rng rng(53);
+  const ZipfSampler z(1, 1.0);
+  EXPECT_EQ(z.Sample(&rng), 0u);
+}
+
+TEST(LogNormalTest, PositiveAndRoughMedian) {
+  Rng rng(59);
+  const LogNormalSampler ln(4.0, 1.0);
+  int below = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = ln.Sample(&rng);
+    EXPECT_GT(v, 0.0);
+    below += v < std::exp(4.0) ? 1 : 0;
+  }
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.03);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPads) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer"});  // short row is padded
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Cells are right-aligned to the widest cell ("longer", 6 chars).
+  EXPECT_NE(out.find("|   name"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);  // header+sep+2 rows
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, FmtFormats) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(42), "42");
+  EXPECT_EQ(TablePrinter::Fmt(std::uint64_t{7}), "7");
+}
+
+TEST(EnvTest, GetEnvIntParsesAndFallsBack) {
+  ::setenv("P3Q_TEST_INT", "123", 1);
+  EXPECT_EQ(GetEnvInt("P3Q_TEST_INT", 5), 123);
+  ::setenv("P3Q_TEST_INT", "junk", 1);
+  EXPECT_EQ(GetEnvInt("P3Q_TEST_INT", 5), 5);
+  ::unsetenv("P3Q_TEST_INT");
+  EXPECT_EQ(GetEnvInt("P3Q_TEST_INT", 5), 5);
+}
+
+TEST(EnvTest, GetEnvBool) {
+  ::setenv("P3Q_TEST_BOOL", "1", 1);
+  EXPECT_TRUE(GetEnvBool("P3Q_TEST_BOOL"));
+  ::setenv("P3Q_TEST_BOOL", "0", 1);
+  EXPECT_FALSE(GetEnvBool("P3Q_TEST_BOOL"));
+  ::setenv("P3Q_TEST_BOOL", "false", 1);
+  EXPECT_FALSE(GetEnvBool("P3Q_TEST_BOOL"));
+  ::unsetenv("P3Q_TEST_BOOL");
+  EXPECT_FALSE(GetEnvBool("P3Q_TEST_BOOL"));
+  EXPECT_TRUE(GetEnvBool("P3Q_TEST_BOOL", true));
+}
+
+TEST(EnvTest, ResolveBenchScaleDefaultAndFull) {
+  ::unsetenv("P3Q_BENCH_FULL");
+  ::unsetenv("P3Q_BENCH_USERS");
+  const BenchScale scale = ResolveBenchScale(800);
+  EXPECT_EQ(scale.users, 800);
+  EXPECT_EQ(scale.network_size, 80);
+  EXPECT_FALSE(scale.full);
+  ::setenv("P3Q_BENCH_FULL", "1", 1);
+  const BenchScale full = ResolveBenchScale(800);
+  EXPECT_EQ(full.users, 10000);
+  EXPECT_EQ(full.network_size, 1000);
+  ::unsetenv("P3Q_BENCH_FULL");
+}
+
+}  // namespace
+}  // namespace p3q

@@ -1,0 +1,165 @@
+// Integration tests for the lazy mode: convergence, the 3-step exchange's
+// traffic accounting, storage bounds and update dissemination.
+#include <gtest/gtest.h>
+
+#include "baseline/ideal_network.h"
+#include "core/p3q_system.h"
+#include "dataset/generator.h"
+#include "eval/metrics_eval.h"
+
+namespace p3q {
+namespace {
+
+SyntheticTrace SmallTrace(int users = 150, std::uint64_t seed = 5) {
+  return GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(users), seed);
+}
+
+P3QConfig SmallConfig() {
+  P3QConfig config;
+  config.network_size = 20;
+  config.stored_profiles = 5;
+  config.random_view_size = 8;
+  return config;
+}
+
+TEST(LazyProtocolTest, ConvergesTowardIdealNetworks) {
+  const SyntheticTrace trace = SmallTrace();
+  const P3QConfig config = SmallConfig();
+  P3QSystem system(trace.dataset(), config, {}, 99);
+  system.BootstrapRandomViews();
+  const IdealNetworks ideal =
+      ComputeIdealNetworks(trace.dataset(), config.network_size);
+
+  const double before = AverageSuccessRatio(system, ideal);
+  system.RunLazyCycles(15);
+  const double mid = AverageSuccessRatio(system, ideal);
+  system.RunLazyCycles(35);
+  const double after = AverageSuccessRatio(system, ideal);
+  EXPECT_LT(before, 0.1);
+  EXPECT_GT(mid, before);
+  EXPECT_GT(after, 0.7);
+}
+
+TEST(LazyProtocolTest, StorageBoundNeverExceeded) {
+  const SyntheticTrace trace = SmallTrace();
+  P3QConfig config = SmallConfig();
+  config.stored_profiles = 3;
+  P3QSystem system(trace.dataset(), config, {}, 7);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(25);
+  for (UserId u = 0; u < static_cast<UserId>(system.NumUsers()); ++u) {
+    const PersonalNetwork& net = system.node(u).network();
+    EXPECT_LE(net.StoredProfiles().size(), 3u);
+    EXPECT_LE(net.size(), static_cast<std::size_t>(config.network_size));
+  }
+}
+
+TEST(LazyProtocolTest, NetworkScoresAreExactSimilarities) {
+  const SyntheticTrace trace = SmallTrace();
+  P3QSystem system(trace.dataset(), SmallConfig(), {}, 11);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(20);
+  for (UserId u = 0; u < 30; ++u) {
+    const P3QNode& node = system.node(u);
+    for (const NetworkEntry& e : node.network().entries()) {
+      // The entry's score is the similarity against the snapshot version the
+      // digest was computed from.
+      EXPECT_EQ(e.score, node.profile()->SimilarityWith(*e.digest.snapshot))
+          << "user " << u << " neighbour " << e.user;
+      EXPECT_GT(e.score, 0u);
+    }
+  }
+}
+
+TEST(LazyProtocolTest, ThreeStepExchangeAccountsAllMessageKinds) {
+  const SyntheticTrace trace = SmallTrace();
+  P3QSystem system(trace.dataset(), SmallConfig(), {}, 13);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(10);
+  const Metrics& m = system.metrics();
+  EXPECT_GT(m.Of(MessageType::kRandomViewGossip).messages, 0u);
+  EXPECT_GT(m.Of(MessageType::kLazyDigestProposal).messages, 0u);
+  EXPECT_GT(m.Of(MessageType::kLazyCommonItems).messages, 0u);
+  EXPECT_GT(m.Of(MessageType::kLazyFullProfile).messages, 0u);
+  EXPECT_GT(m.Of(MessageType::kDirectProfileFetch).messages, 0u);
+  // No eager traffic in lazy-only runs.
+  EXPECT_EQ(m.Of(MessageType::kEagerQueryForward).messages, 0u);
+  EXPECT_EQ(m.Of(MessageType::kPartialResult).messages, 0u);
+}
+
+TEST(LazyProtocolTest, DigestProposalBytesMatchDigestSize) {
+  const SyntheticTrace trace = SmallTrace(80);
+  P3QConfig config = SmallConfig();
+  config.digest_bits = 20 * 1024;
+  P3QSystem system(trace.dataset(), config, {}, 17);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(3);
+  const MessageStats& proposals =
+      system.metrics().Of(MessageType::kLazyDigestProposal);
+  ASSERT_GT(proposals.messages, 0u);
+  // Every proposal message carries at least one digest (2560 B + id).
+  EXPECT_GE(proposals.bytes, proposals.messages * (2560 + 4));
+}
+
+TEST(LazyProtocolTest, UpdatesDisseminateToReplicas) {
+  const SyntheticTrace trace = SmallTrace(120);
+  P3QConfig config = SmallConfig();
+  P3QSystem system(trace.dataset(), config, {}, 19);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(40);  // build networks first
+
+  Rng rng(23);
+  const UpdateBatch batch = trace.MakeUpdateBatch(UpdateConfig{}, &rng);
+  ASSERT_GT(batch.NumChangedUsers(), 0u);
+  system.ApplyUpdateBatch(batch);
+  const auto changed = ChangedUsers(batch);
+
+  const double aur0 = AverageUpdateRate(system, changed);
+  system.RunLazyCycles(15);
+  const double aur1 = AverageUpdateRate(system, changed);
+  system.RunLazyCycles(35);
+  const double aur2 = AverageUpdateRate(system, changed);
+  EXPECT_LT(aur0, 0.2);
+  EXPECT_GT(aur1, aur0);
+  EXPECT_GT(aur2, 0.6);  // small c keeps replicas fresh (paper Fig. 7)
+}
+
+TEST(LazyProtocolTest, OwnProfileUpdateReflectedInOwnNode) {
+  const SyntheticTrace trace = SmallTrace(60);
+  P3QSystem system(trace.dataset(), SmallConfig(), {}, 29);
+  Rng rng(31);
+  const UpdateBatch batch = trace.MakeUpdateBatch(UpdateConfig{}, &rng);
+  ASSERT_GT(batch.NumChangedUsers(), 0u);
+  system.ApplyUpdateBatch(batch);
+  for (const ProfileUpdate& u : batch.updates) {
+    EXPECT_EQ(system.node(u.user).profile()->version(), 1u);
+    EXPECT_EQ(system.node(u.user).SelfDigest().version(), 1u);
+  }
+}
+
+TEST(LazyProtocolTest, SurvivesOfflineMajority) {
+  const SyntheticTrace trace = SmallTrace(100);
+  P3QSystem system(trace.dataset(), SmallConfig(), {}, 37);
+  system.BootstrapRandomViews();
+  system.RunLazyCycles(10);
+  system.FailRandomFraction(0.6);
+  // Gossip must keep running among survivors without touching the dead.
+  const Metrics before = system.metrics().Snapshot();
+  system.RunLazyCycles(10);
+  const Metrics delta = system.metrics().Since(before);
+  EXPECT_GT(delta.TotalMessages(), 0u);
+}
+
+TEST(LazyProtocolTest, DeterministicForSameSeed) {
+  const SyntheticTrace trace = SmallTrace(80);
+  auto run = [&trace]() {
+    P3QSystem system(trace.dataset(), SmallConfig(), {}, 41);
+    system.BootstrapRandomViews();
+    system.RunLazyCycles(12);
+    return system.metrics().TotalBytes();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace p3q

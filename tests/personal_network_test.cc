@@ -1,0 +1,198 @@
+// Unit tests for core/personal_network: score-ordered bounded neighbour set
+// with top-c replica storage and gossip timestamps.
+#include <gtest/gtest.h>
+
+#include "core/personal_network.h"
+
+namespace p3q {
+namespace {
+
+ProfilePtr MakeSnapshot(UserId owner, std::size_t num_actions,
+                        std::uint32_t version = 0) {
+  std::vector<ActionKey> actions;
+  for (std::size_t i = 0; i < num_actions; ++i) {
+    actions.push_back(MakeAction(static_cast<ItemId>(owner * 1000 + i), 1));
+  }
+  return std::make_shared<Profile>(owner, std::move(actions), version, 1024);
+}
+
+DigestInfo MakeDigest(UserId owner, std::uint32_t version = 0) {
+  return DigestInfo{owner, MakeSnapshot(owner, 4, version)};
+}
+
+TEST(PersonalNetworkTest, RejectsZeroScoreAndSelf) {
+  PersonalNetwork net(1, 5, 2);
+  EXPECT_FALSE(net.Consider(2, 0, MakeDigest(2), nullptr).accepted);
+  EXPECT_FALSE(net.Consider(1, 10, MakeDigest(1), nullptr).accepted);
+  EXPECT_TRUE(net.Empty());
+}
+
+TEST(PersonalNetworkTest, OrdersByScoreThenId) {
+  PersonalNetwork net(0, 5, 5);
+  net.Consider(3, 10, MakeDigest(3), nullptr);
+  net.Consider(1, 20, MakeDigest(1), nullptr);
+  net.Consider(2, 10, MakeDigest(2), nullptr);
+  ASSERT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.entries()[0].user, 1u);
+  EXPECT_EQ(net.entries()[1].user, 2u);  // tie at 10 -> lower id first
+  EXPECT_EQ(net.entries()[2].user, 3u);
+}
+
+TEST(PersonalNetworkTest, EnforcesCapacityEvictingWorst) {
+  PersonalNetwork net(0, 3, 3);
+  net.Consider(1, 10, MakeDigest(1), nullptr);
+  net.Consider(2, 20, MakeDigest(2), nullptr);
+  net.Consider(3, 30, MakeDigest(3), nullptr);
+  // Worse than everything: rejected.
+  EXPECT_FALSE(net.Consider(4, 5, MakeDigest(4), nullptr).accepted);
+  EXPECT_EQ(net.size(), 3u);
+  // Better than the worst: 1 is evicted.
+  EXPECT_TRUE(net.Consider(5, 15, MakeDigest(5), nullptr).accepted);
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_FALSE(net.Contains(1));
+  EXPECT_TRUE(net.Contains(5));
+}
+
+TEST(PersonalNetworkTest, StoresProfilesOnlyForTopC) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1), MakeSnapshot(1, 4));
+  net.Consider(2, 20, MakeDigest(2), MakeSnapshot(2, 4));
+  net.Consider(3, 30, MakeDigest(3), MakeSnapshot(3, 4));
+  net.Consider(4, 40, MakeDigest(4), MakeSnapshot(4, 4));
+  // Top-2 by score: 4 and 3.
+  EXPECT_NE(net.StoredProfileOf(4), nullptr);
+  EXPECT_NE(net.StoredProfileOf(3), nullptr);
+  EXPECT_EQ(net.StoredProfileOf(2), nullptr);
+  EXPECT_EQ(net.StoredProfileOf(1), nullptr);
+  EXPECT_EQ(net.StoredProfiles().size(), 2u);
+}
+
+TEST(PersonalNetworkTest, NewTopEntryDisplacesStoredProfile) {
+  PersonalNetwork net(0, 4, 1);
+  net.Consider(1, 10, MakeDigest(1), MakeSnapshot(1, 4));
+  EXPECT_NE(net.StoredProfileOf(1), nullptr);
+  // A better candidate takes the single storage slot.
+  const ConsiderOutcome outcome =
+      net.Consider(2, 50, MakeDigest(2), MakeSnapshot(2, 4));
+  EXPECT_TRUE(outcome.stored_profile);
+  EXPECT_EQ(net.StoredProfileOf(1), nullptr);
+  EXPECT_NE(net.StoredProfileOf(2), nullptr);
+}
+
+TEST(PersonalNetworkTest, ConsiderWithoutReplicaLeavesGap) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1), nullptr);
+  EXPECT_EQ(net.StoredProfileOf(1), nullptr);
+  const std::vector<UserId> need = net.EntriesNeedingProfile();
+  ASSERT_EQ(need.size(), 1u);
+  EXPECT_EQ(need[0], 1u);
+}
+
+TEST(PersonalNetworkTest, StaleReplicaReportedAsNeedingProfile) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1, 0), MakeSnapshot(1, 4, 0));
+  EXPECT_TRUE(net.EntriesNeedingProfile().empty());
+  // A newer digest arrives without the profile body.
+  net.Consider(1, 12, MakeDigest(1, 1), nullptr);
+  const std::vector<UserId> need = net.EntriesNeedingProfile();
+  ASSERT_EQ(need.size(), 1u);
+  EXPECT_EQ(need[0], 1u);
+  // Old replica still present (usable) until refreshed.
+  EXPECT_NE(net.StoredProfileOf(1), nullptr);
+  EXPECT_EQ(net.StoredProfileOf(1)->version(), 0u);
+}
+
+TEST(PersonalNetworkTest, UpdateRefreshesScoreAndReplica) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1, 0), MakeSnapshot(1, 4, 0));
+  net.Consider(2, 20, MakeDigest(2, 0), MakeSnapshot(2, 4, 0));
+  // Version-1 update of user 1 with a higher score reorders the network.
+  const ConsiderOutcome outcome =
+      net.Consider(1, 30, MakeDigest(1, 1), MakeSnapshot(1, 6, 1));
+  EXPECT_TRUE(outcome.accepted);
+  EXPECT_TRUE(outcome.stored_profile);  // replica refreshed
+  EXPECT_EQ(net.entries()[0].user, 1u);
+  EXPECT_EQ(net.StoredProfileOf(1)->version(), 1u);
+}
+
+TEST(PersonalNetworkTest, StaleOfferIgnored) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1, 5), MakeSnapshot(1, 4, 5));
+  const ConsiderOutcome outcome =
+      net.Consider(1, 3, MakeDigest(1, 2), MakeSnapshot(1, 2, 2));
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(net.Find(1)->score, 10u);
+}
+
+TEST(PersonalNetworkTest, SameVersionReofferDoesNotReportTransfer) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1, 0), MakeSnapshot(1, 4, 0));
+  const ConsiderOutcome outcome =
+      net.Consider(1, 10, MakeDigest(1, 0), MakeSnapshot(1, 4, 0));
+  EXPECT_TRUE(outcome.accepted);
+  EXPECT_FALSE(outcome.stored_profile);  // nothing new travelled
+}
+
+TEST(PersonalNetworkTest, TimestampsAgeAndReset) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1), nullptr);
+  net.Consider(2, 20, MakeDigest(2), nullptr);
+  net.Consider(3, 30, MakeDigest(3), nullptr);
+  // Gossip with 2: everyone else ages.
+  net.TouchGossiped(2);
+  EXPECT_EQ(net.Find(2)->timestamp, 0u);
+  EXPECT_EQ(net.Find(1)->timestamp, 1u);
+  EXPECT_EQ(net.Find(3)->timestamp, 1u);
+  net.TouchGossiped(1);
+  // Oldest is now 3 (timestamp 2).
+  EXPECT_EQ(net.OldestNeighbour(), 3u);
+  // Skip list excludes 3: next oldest by tie-break (1 at ts 0 vs 2 at ts 1).
+  EXPECT_EQ(net.OldestNeighbour({3}), 2u);
+  net.ResetTimestamp(3);
+  EXPECT_EQ(net.Find(3)->timestamp, 0u);
+}
+
+TEST(PersonalNetworkTest, OldestNeighbourOnEmpty) {
+  PersonalNetwork net(0, 4, 2);
+  EXPECT_EQ(net.OldestNeighbour(), kInvalidUser);
+}
+
+TEST(PersonalNetworkTest, MembersAndMembersWithoutProfile) {
+  PersonalNetwork net(0, 4, 1);
+  net.Consider(1, 10, MakeDigest(1), MakeSnapshot(1, 4));
+  net.Consider(2, 20, MakeDigest(2), MakeSnapshot(2, 4));
+  net.Consider(3, 5, MakeDigest(3), MakeSnapshot(3, 4));
+  EXPECT_EQ(net.Members(), (std::vector<UserId>{2, 1, 3}));
+  // Only 2 (top-1) holds a profile; the remaining list is {1, 3}.
+  EXPECT_EQ(net.MembersWithoutProfile(), (std::vector<UserId>{1, 3}));
+}
+
+TEST(PersonalNetworkTest, RemoveDropsEntryAndPromotesStorage) {
+  PersonalNetwork net(0, 4, 1);
+  net.Consider(1, 10, MakeDigest(1), MakeSnapshot(1, 4));
+  net.Consider(2, 20, MakeDigest(2), MakeSnapshot(2, 4));
+  EXPECT_NE(net.StoredProfileOf(2), nullptr);
+  net.Remove(2);
+  EXPECT_FALSE(net.Contains(2));
+  EXPECT_EQ(net.size(), 1u);
+  // User 1 is now top-c but its replica was dropped earlier; it must be
+  // reported as needing a profile.
+  EXPECT_EQ(net.EntriesNeedingProfile(), (std::vector<UserId>{1}));
+}
+
+TEST(PersonalNetworkTest, StoredProfileActionsSumsLengths) {
+  PersonalNetwork net(0, 4, 2);
+  net.Consider(1, 10, MakeDigest(1), MakeSnapshot(1, 3));
+  net.Consider(2, 20, MakeDigest(2), MakeSnapshot(2, 5));
+  EXPECT_EQ(net.StoredProfileActions(), 8u);
+}
+
+TEST(PersonalNetworkTest, KnownVersionSentinel) {
+  PersonalNetwork net(0, 4, 2);
+  EXPECT_EQ(net.KnownVersion(9), PersonalNetwork::kNoVersion);
+  net.Consider(1, 10, MakeDigest(1, 7), nullptr);
+  EXPECT_EQ(net.KnownVersion(1), 7u);
+}
+
+}  // namespace
+}  // namespace p3q

@@ -1,0 +1,143 @@
+// Unit tests for sim/: metrics accounting, network liveness, cycle engine.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+
+namespace p3q {
+namespace {
+
+TEST(MetricsTest, RecordsPerType) {
+  Metrics m;
+  m.Record(MessageType::kPartialResult, 100);
+  m.Record(MessageType::kPartialResult, 50);
+  m.Record(MessageType::kEagerQueryForward, 8);
+  EXPECT_EQ(m.Of(MessageType::kPartialResult).messages, 2u);
+  EXPECT_EQ(m.Of(MessageType::kPartialResult).bytes, 150u);
+  EXPECT_EQ(m.TotalBytes(), 158u);
+  EXPECT_EQ(m.TotalMessages(), 3u);
+}
+
+TEST(MetricsTest, SinceComputesDelta) {
+  Metrics m;
+  m.Record(MessageType::kRandomViewGossip, 10);
+  const Metrics snapshot = m.Snapshot();
+  m.Record(MessageType::kRandomViewGossip, 25);
+  const Metrics delta = m.Since(snapshot);
+  EXPECT_EQ(delta.Of(MessageType::kRandomViewGossip).messages, 1u);
+  EXPECT_EQ(delta.Of(MessageType::kRandomViewGossip).bytes, 25u);
+}
+
+TEST(MetricsTest, ResetZeroes) {
+  Metrics m;
+  m.Record(MessageType::kLazyFullProfile, 999);
+  m.Reset();
+  EXPECT_EQ(m.TotalBytes(), 0u);
+  EXPECT_EQ(m.TotalMessages(), 0u);
+}
+
+TEST(MetricsTest, AllTypesHaveNames) {
+  for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+    EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(i)), "unknown");
+  }
+}
+
+TEST(NetworkTest, LivenessBookkeeping) {
+  Network net(5);
+  EXPECT_EQ(net.NumOnline(), 5u);
+  EXPECT_TRUE(net.IsOnline(3));
+  net.SetOnline(3, false);
+  EXPECT_FALSE(net.IsOnline(3));
+  EXPECT_EQ(net.NumOnline(), 4u);
+  net.SetOnline(3, false);  // idempotent
+  EXPECT_EQ(net.NumOnline(), 4u);
+  net.SetOnline(3, true);
+  EXPECT_EQ(net.NumOnline(), 5u);
+}
+
+TEST(NetworkTest, FailRandomFractionTakesExactShare) {
+  Network net(100);
+  Rng rng(3);
+  const std::vector<UserId> left = net.FailRandomFraction(0.3, &rng);
+  EXPECT_EQ(left.size(), 30u);
+  EXPECT_EQ(net.NumOnline(), 70u);
+  for (UserId u : left) EXPECT_FALSE(net.IsOnline(u));
+}
+
+TEST(NetworkTest, FailRandomFractionOnlyHitsOnline) {
+  Network net(10);
+  Rng rng(5);
+  net.FailRandomFraction(0.5, &rng);       // 5 leave
+  net.FailRandomFraction(1.0, &rng);       // the remaining 5 leave
+  EXPECT_EQ(net.NumOnline(), 0u);
+}
+
+class CountingProtocol : public CycleProtocol {
+ public:
+  void RunCycle(UserId node, std::uint64_t cycle) override {
+    calls.emplace_back(node, cycle);
+  }
+  std::vector<std::pair<UserId, std::uint64_t>> calls;
+};
+
+TEST(EngineTest, RunsEveryNodeEveryCycle) {
+  Engine engine(4, 7);
+  CountingProtocol protocol;
+  engine.AddProtocol(&protocol);
+  engine.RunCycles(3);
+  EXPECT_EQ(protocol.calls.size(), 12u);
+  EXPECT_EQ(engine.CurrentCycle(), 3u);
+  // Each cycle covers all nodes exactly once.
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    std::set<UserId> seen;
+    for (const auto& [node, cycle] : protocol.calls) {
+      if (cycle == c) seen.insert(node);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+  }
+}
+
+TEST(EngineTest, ShufflesOrderAcrossCycles) {
+  Engine engine(50, 11);
+  CountingProtocol protocol;
+  engine.AddProtocol(&protocol);
+  engine.RunCycles(2);
+  std::vector<UserId> first, second;
+  for (const auto& [node, cycle] : protocol.calls) {
+    (cycle == 0 ? first : second).push_back(node);
+  }
+  EXPECT_NE(first, second);  // astronomically unlikely to match
+}
+
+TEST(EngineTest, ObserversSeeCycleNumbers) {
+  Engine engine(2, 13);
+  std::vector<std::uint64_t> observed;
+  engine.AddObserver([&observed](std::uint64_t c) { observed.push_back(c); });
+  engine.RunCycles(4);
+  EXPECT_EQ(observed, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(EngineTest, LivenessFilterSkipsNodes) {
+  Engine engine(4, 17);
+  CountingProtocol protocol;
+  engine.AddProtocol(&protocol);
+  engine.SetLivenessCheck([](UserId u) { return u != 2; });
+  engine.RunCycles(2);
+  for (const auto& [node, cycle] : protocol.calls) EXPECT_NE(node, 2u);
+  EXPECT_EQ(protocol.calls.size(), 6u);
+}
+
+TEST(EngineTest, DeterministicForSameSeed) {
+  CountingProtocol p1, p2;
+  Engine e1(10, 99), e2(10, 99);
+  e1.AddProtocol(&p1);
+  e2.AddProtocol(&p2);
+  e1.RunCycles(5);
+  e2.RunCycles(5);
+  EXPECT_EQ(p1.calls, p2.calls);
+}
+
+}  // namespace
+}  // namespace p3q

@@ -1,0 +1,218 @@
+// Unit + property tests for core/topk: the incremental NRA of Algorithm 4.
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/topk.h"
+
+namespace p3q {
+namespace {
+
+using Entry = std::pair<ItemId, std::uint32_t>;
+using List = std::vector<Entry>;
+
+/// Exact reference: sums the lists and ranks (score desc, item asc).
+std::vector<ItemId> BruteForceTopK(const std::vector<List>& lists, int k) {
+  std::map<ItemId, std::uint64_t> totals;
+  for (const List& list : lists) {
+    for (const auto& [item, score] : list) totals[item] += score;
+  }
+  std::vector<std::pair<ItemId, std::uint64_t>> ranked(totals.begin(),
+                                                       totals.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<ItemId> out;
+  for (std::size_t i = 0; i < ranked.size() && i < static_cast<std::size_t>(k);
+       ++i) {
+    out.push_back(ranked[i].first);
+  }
+  return out;
+}
+
+List SortList(List list) {
+  std::sort(list.begin(), list.end(), [](const Entry& a, const Entry& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return list;
+}
+
+std::vector<ItemId> Items(const std::vector<RankedItem>& ranked) {
+  std::vector<ItemId> out;
+  for (const RankedItem& r : ranked) out.push_back(r.item);
+  return out;
+}
+
+TEST(IncrementalNraTest, SingleListExact) {
+  IncrementalNra nra(3);
+  nra.AddList(SortList({{1, 10}, {2, 8}, {3, 5}, {4, 1}}));
+  nra.Process();
+  EXPECT_TRUE(nra.Converged());
+  EXPECT_EQ(Items(nra.TopK()), (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(IncrementalNraTest, EmptyStateYieldsEmptyTopK) {
+  IncrementalNra nra(5);
+  EXPECT_EQ(nra.Process(), 0u);
+  EXPECT_TRUE(nra.TopK().empty());
+  EXPECT_TRUE(nra.Converged());  // no lists: nothing can change
+}
+
+TEST(IncrementalNraTest, TwoListsMerge) {
+  IncrementalNra nra(2);
+  nra.AddList(SortList({{1, 5}, {2, 4}}));
+  nra.AddList(SortList({{2, 5}, {3, 4}}));
+  nra.Process();
+  nra.DrainAll();
+  // Totals: item2=9, item1=5, item3=4.
+  EXPECT_EQ(Items(nra.TopK()), (std::vector<ItemId>{2, 1}));
+}
+
+TEST(IncrementalNraTest, FewerCandidatesThanK) {
+  IncrementalNra nra(10);
+  nra.AddList(SortList({{1, 3}, {2, 1}}));
+  nra.Process();
+  EXPECT_EQ(nra.TopK().size(), 2u);
+  EXPECT_TRUE(nra.Converged());
+}
+
+TEST(IncrementalNraTest, WorstAndBestConvergeAfterDrain) {
+  IncrementalNra nra(2);
+  nra.AddList(SortList({{1, 5}, {2, 4}, {3, 3}}));
+  nra.AddList(SortList({{3, 5}, {1, 4}}));
+  nra.DrainAll();
+  for (const RankedItem& r : nra.TopK()) EXPECT_EQ(r.worst, r.best);
+}
+
+TEST(IncrementalNraTest, EachListScannedAtMostOnce) {
+  IncrementalNra nra(3);
+  std::size_t total_entries = 0;
+  Rng rng(7);
+  for (int l = 0; l < 8; ++l) {
+    List list;
+    for (int i = 0; i < 20; ++i) {
+      list.emplace_back(static_cast<ItemId>(rng.NextUint64(50)),
+                        static_cast<std::uint32_t>(1 + rng.NextUint64(9)));
+    }
+    // Deduplicate items within the list (precondition).
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end(),
+                           [](const Entry& a, const Entry& b) {
+                             return a.first == b.first;
+                           }),
+               list.end());
+    total_entries += list.size();
+    nra.AddList(SortList(std::move(list)));
+    nra.Process();
+  }
+  nra.DrainAll();
+  EXPECT_LE(nra.total_entries_scanned(), total_entries);
+}
+
+TEST(IncrementalNraTest, ConvergedTopKIsFinalEvenWithoutDrain) {
+  // A dominant head makes early stopping possible.
+  IncrementalNra nra(1);
+  List list;
+  list.emplace_back(99, 1000);
+  for (ItemId i = 0; i < 50; ++i) list.emplace_back(i, 1);
+  nra.AddList(SortList(std::move(list)));
+  nra.Process();
+  ASSERT_TRUE(nra.Converged());
+  EXPECT_EQ(Items(nra.TopK()), (std::vector<ItemId>{99}));
+  // Early stop must have saved scanning.
+  EXPECT_LT(nra.total_entries_scanned(), 51u);
+}
+
+// Property sweep: incremental NRA == brute force for random workloads fed
+// over random "cycles".
+struct NraCase {
+  int seed;
+  int k;
+  int num_lists;
+  int items_universe;
+  int max_list_len;
+};
+
+class NraProperty : public ::testing::TestWithParam<NraCase> {};
+
+TEST_P(NraProperty, MatchesBruteForceAfterAllListsArrive) {
+  const NraCase param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.seed));
+  std::vector<List> lists;
+  for (int l = 0; l < param.num_lists; ++l) {
+    std::map<ItemId, std::uint32_t> unique;
+    const int len = 1 + static_cast<int>(rng.NextUint64(param.max_list_len));
+    for (int i = 0; i < len; ++i) {
+      unique[static_cast<ItemId>(rng.NextUint64(param.items_universe))] =
+          static_cast<std::uint32_t>(1 + rng.NextUint64(20));
+    }
+    lists.push_back(SortList(List(unique.begin(), unique.end())));
+  }
+
+  IncrementalNra nra(param.k);
+  // Deliver lists over random cycles, processing after each batch (as the
+  // eager mode does at end of cycle).
+  std::size_t next = 0;
+  while (next < lists.size()) {
+    const std::size_t batch = 1 + rng.NextUint64(3);
+    for (std::size_t i = 0; i < batch && next < lists.size(); ++i) {
+      nra.AddList(lists[next++]);
+    }
+    nra.Process();
+  }
+  nra.DrainAll();
+
+  const std::vector<ItemId> expected = BruteForceTopK(lists, param.k);
+  EXPECT_EQ(Items(nra.TopK()), expected);
+}
+
+TEST_P(NraProperty, EarlyConvergenceIsSound) {
+  // If Converged() reports true after a partial Process, the top-k *set*
+  // must already equal the final one.
+  const NraCase param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.seed) * 31 + 1);
+  std::vector<List> lists;
+  for (int l = 0; l < param.num_lists; ++l) {
+    std::map<ItemId, std::uint32_t> unique;
+    const int len = 1 + static_cast<int>(rng.NextUint64(param.max_list_len));
+    for (int i = 0; i < len; ++i) {
+      unique[static_cast<ItemId>(rng.NextUint64(param.items_universe))] =
+          static_cast<std::uint32_t>(1 + rng.NextUint64(20));
+    }
+    lists.push_back(SortList(List(unique.begin(), unique.end())));
+  }
+  IncrementalNra nra(param.k);
+  for (const List& list : lists) nra.AddList(list);
+  nra.Process();
+  if (nra.Converged()) {
+    // NRA's guarantee under ties: the *scores* of the reported top-k match
+    // the exact top-k scores (boundary ties may swap equal-score items).
+    std::map<ItemId, std::uint64_t> totals;
+    for (const List& list : lists) {
+      for (const auto& [item, score] : list) totals[item] += score;
+    }
+    std::vector<std::uint64_t> got, expected;
+    for (ItemId item : Items(nra.TopK())) got.push_back(totals[item]);
+    for (ItemId item : BruteForceTopK(lists, param.k)) {
+      expected.push_back(totals[item]);
+    }
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWorkloads, NraProperty,
+    ::testing::Values(NraCase{1, 5, 3, 30, 15}, NraCase{2, 10, 10, 100, 30},
+                      NraCase{3, 1, 5, 10, 10}, NraCase{4, 10, 1, 40, 40},
+                      NraCase{5, 3, 20, 25, 8}, NraCase{6, 10, 7, 2000, 50},
+                      NraCase{7, 10, 30, 60, 20}, NraCase{8, 2, 2, 5, 5},
+                      NraCase{9, 10, 15, 500, 25}, NraCase{10, 4, 6, 12, 12}));
+
+}  // namespace
+}  // namespace p3q

@@ -1,0 +1,241 @@
+// p3q_sim — command-line driver for custom P3Q simulations.
+//
+// Runs the full pipeline (trace -> lazy convergence -> queries -> optional
+// churn/updates) with every protocol parameter exposed as a flag, and prints
+// the quality/cost summary. Examples:
+//
+//   p3q_sim --users=2000 --c=10 --lazy-cycles=150 --queries=50
+//   p3q_sim --users=800 --lambda=1 --departure=0.5 --queries=100
+//   p3q_sim --trace=delicious.tsv --s=1000 --c=20 --alpha=0.3
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "baseline/centralized_topk.h"
+#include "baseline/ideal_network.h"
+#include "common/table_printer.h"
+#include "core/p3q_system.h"
+#include "dataset/generator.h"
+#include "dataset/query_gen.h"
+#include "dataset/storage_dist.h"
+#include "dataset/trace_loader.h"
+#include "eval/metrics_eval.h"
+#include "eval/recall.h"
+
+namespace {
+
+struct Options {
+  int users = 1000;
+  int network_size = -1;  // default: users/10
+  int stored = 10;
+  double lambda = 0;  // >0: heterogeneous storage instead of uniform c
+  double alpha = 0.5;
+  int top_k = 10;
+  int lazy_cycles = 100;
+  int eager_cycles = 15;
+  int queries = 50;
+  double departure = 0;
+  bool apply_updates = false;
+  std::uint64_t seed = 1;
+  std::string trace_path;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::cout <<
+      "p3q_sim — run a P3Q simulation\n\n"
+      "  --users=N          population size for the synthetic trace (1000)\n"
+      "  --trace=PATH       load a real user<TAB>item<TAB>tag trace instead\n"
+      "  --s=N              personal network size (users/10)\n"
+      "  --c=N              stored profiles per user (10)\n"
+      "  --lambda=X         heterogeneous storage, truncated Poisson(X)\n"
+      "  --alpha=X          remaining-list split parameter (0.5)\n"
+      "  --k=N              top-k size (10)\n"
+      "  --lazy-cycles=N    lazy maintenance cycles before querying (100)\n"
+      "  --eager-cycles=N   eager cycles per query (15)\n"
+      "  --queries=N        number of queries to run (50)\n"
+      "  --departure=X      fraction of users leaving before queries (0)\n"
+      "  --updates          apply a profile-update batch before queries\n"
+      "  --seed=N           master seed (1)\n";
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0') {
+    value->clear();
+    return true;
+  }
+  return false;
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--help", &value)) {
+      opt.help = true;
+    } else if (ParseFlag(argv[i], "--users", &value)) {
+      opt.users = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      opt.trace_path = value;
+    } else if (ParseFlag(argv[i], "--s", &value)) {
+      opt.network_size = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--c", &value)) {
+      opt.stored = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--lambda", &value)) {
+      opt.lambda = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--alpha", &value)) {
+      opt.alpha = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--k", &value)) {
+      opt.top_k = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--lazy-cycles", &value)) {
+      opt.lazy_cycles = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--eager-cycles", &value)) {
+      opt.eager_cycles = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--queries", &value)) {
+      opt.queries = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--departure", &value)) {
+      opt.departure = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--updates", &value)) {
+      opt.apply_updates = true;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return std::nullopt;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> parsed = ParseArgs(argc, argv);
+  if (!parsed) {
+    PrintUsage();
+    return 1;
+  }
+  Options opt = *parsed;
+  if (opt.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  using namespace p3q;
+
+  // --- dataset ---
+  std::optional<SyntheticTrace> synthetic;
+  Dataset dataset;
+  if (!opt.trace_path.empty()) {
+    auto loaded = LoadTaggingTraceFile(opt.trace_path);
+    if (!loaded) {
+      std::cerr << "cannot load trace: " << opt.trace_path << "\n";
+      return 1;
+    }
+    dataset = std::move(loaded->dataset);
+    std::cout << "loaded trace: " << loaded->user_names.size() << " users ("
+              << loaded->skipped_lines << " lines skipped)\n";
+  } else {
+    synthetic = GenerateSyntheticTrace(
+        SyntheticConfig::DeliciousLike(opt.users), opt.seed);
+    dataset = synthetic->dataset();
+  }
+  const DatasetStats stats = dataset.ComputeStats();
+  std::cout << "dataset: " << stats.num_users << " users, " << stats.num_items
+            << " items, " << stats.num_tags << " tags, " << stats.num_actions
+            << " actions\n";
+  if (opt.network_size <= 0) {
+    opt.network_size = std::max(10, static_cast<int>(stats.num_users) / 10);
+  }
+
+  // --- system ---
+  P3QConfig config;
+  config.network_size = opt.network_size;
+  config.stored_profiles = std::min(opt.stored, opt.network_size);
+  config.alpha = opt.alpha;
+  config.top_k = opt.top_k;
+  std::vector<int> per_user_c;
+  Rng rng(opt.seed + 7);
+  if (opt.lambda > 0) {
+    const StorageDistribution dist = StorageDistribution::TruncatedPoisson(
+        opt.lambda, opt.network_size / 1000.0);
+    per_user_c = dist.AssignAll(stats.num_users, &rng);
+    std::cout << "storage: truncated Poisson(" << opt.lambda
+              << "), mean c = " << dist.Mean() << "\n";
+  } else {
+    std::cout << "storage: uniform c = " << config.stored_profiles << "\n";
+  }
+  P3QSystem system(dataset, config, per_user_c, opt.seed);
+  system.BootstrapRandomViews();
+
+  // --- lazy convergence ---
+  const IdealNetworks ideal = ComputeIdealNetworks(dataset, opt.network_size);
+  system.RunLazyCycles(static_cast<std::uint64_t>(opt.lazy_cycles));
+  std::cout << "after " << opt.lazy_cycles << " lazy cycles: success ratio "
+            << AverageSuccessRatio(system, ideal) << ", maintenance traffic "
+            << system.metrics().TotalBytes() / 1024.0 / 1024.0 << " MiB\n";
+
+  // --- dynamism ---
+  if (opt.apply_updates && synthetic) {
+    const UpdateBatch batch = synthetic->MakeUpdateBatch(UpdateConfig{}, &rng);
+    system.ApplyUpdateBatch(batch);
+    std::cout << "applied update batch: " << batch.NumChangedUsers()
+              << " users changed, AUR "
+              << AverageUpdateRate(system, ChangedUsers(batch)) << "\n";
+  }
+  if (opt.departure > 0) {
+    const auto left = system.FailRandomFraction(opt.departure);
+    std::cout << "departure: " << left.size() << " users left, "
+              << system.network().NumOnline() << " online\n";
+  }
+
+  // --- queries ---
+  const Metrics before = system.metrics().Snapshot();
+  double recall_sum = 0, reach_sum = 0, cycles_sum = 0;
+  int ran = 0, completed = 0;
+  for (int i = 0; i < opt.queries; ++i) {
+    const UserId querier = static_cast<UserId>(rng.NextUint64(stats.num_users));
+    if (!system.network().IsOnline(querier)) continue;
+    const QuerySpec spec = GenerateQueryForUser(dataset, querier, &rng);
+    if (spec.tags.empty()) continue;
+    const std::vector<ItemId> reference =
+        ReferenceTopK(system, spec, config.top_k);
+    const std::uint64_t qid = system.IssueQuery(spec);
+    system.RunEagerCycles(static_cast<std::uint64_t>(opt.eager_cycles));
+    const ActiveQuery& q = system.query(qid);
+    recall_sum += RecallAtK(q.CurrentTopKItems(), reference);
+    reach_sum += static_cast<double>(system.QueryReached(qid).size());
+    if (system.QueryComplete(qid)) {
+      ++completed;
+      cycles_sum += static_cast<double>(q.history().size()) - 1;
+    }
+    ++ran;
+    system.ForgetQuery(qid);
+  }
+  const Metrics eager = system.metrics().Since(before);
+
+  TablePrinter summary({"metric", "value"});
+  summary.AddRow({"queries run", TablePrinter::Fmt(ran)});
+  summary.AddRow({"avg recall@k",
+                  TablePrinter::Fmt(ran ? recall_sum / ran : 0)});
+  summary.AddRow({"completed", TablePrinter::Fmt(completed)});
+  summary.AddRow({"avg cycles to complete",
+                  TablePrinter::Fmt(completed ? cycles_sum / completed : -1, 1)});
+  summary.AddRow({"avg users reached",
+                  TablePrinter::Fmt(ran ? reach_sum / ran : 0, 1)});
+  summary.AddRow({"eager traffic (MiB)",
+                  TablePrinter::Fmt(eager.TotalBytes() / 1024.0 / 1024.0, 2)});
+  summary.AddRow(
+      {"eager messages", TablePrinter::Fmt(eager.TotalMessages())});
+  std::cout << "\n";
+  summary.Print(std::cout);
+  return 0;
+}
