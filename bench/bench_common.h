@@ -5,9 +5,11 @@
 // profile counts c in {10, 20, 50, 100, 200, 500, 1000}; benches default to
 // a reduced scale with the same c/s ratios and print both the paper's c and
 // the scaled c. Environment knobs:
-//   P3Q_BENCH_USERS=<n>  population size (default per bench)
-//   P3Q_BENCH_FULL=1     paper scale (10,000 users, s=1000)
-//   P3Q_BENCH_CSV=1      also emit CSV after each table
+//   P3Q_BENCH_USERS=<n>    population size (default per bench)
+//   P3Q_BENCH_FULL=1       paper scale (10,000 users, s=1000)
+//   P3Q_BENCH_CSV=1        also emit CSV after each table
+//   P3Q_BENCH_CYCLES=<n>   lazy/eager cycle budget (per-bench default)
+//   P3Q_BENCH_QUERIES=<n>  query workload size (per-bench default)
 #ifndef P3Q_BENCH_BENCH_COMMON_H_
 #define P3Q_BENCH_BENCH_COMMON_H_
 

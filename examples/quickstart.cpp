@@ -16,6 +16,10 @@
 
 int main(int argc, char** argv) {
   const int num_users = argc > 1 ? std::atoi(argv[1]) : 400;
+  if (num_users < 1) {
+    std::cerr << "usage: quickstart [num_users>=1]\n";
+    return 1;
+  }
   const std::uint64_t seed = 42;
 
   // 1. A delicious-like tagging trace: users in interest communities, Zipf

@@ -3,7 +3,9 @@
 // The paper's experiments use 10,000 delicious users with personal networks
 // of size 1000. Bench binaries default to a reduced scale that preserves the
 // result shapes and finishes in minutes; `P3Q_BENCH_USERS`, `P3Q_BENCH_FULL`
-// and `P3Q_BENCH_CSV` override that behaviour.
+// and `P3Q_BENCH_CSV` override that behaviour, and the per-bench
+// `P3Q_BENCH_CYCLES` / `P3Q_BENCH_QUERIES` knobs bound the workload (the
+// ctest bench smoke test uses them to run every bench at tiny scale).
 #ifndef P3Q_COMMON_ENV_H_
 #define P3Q_COMMON_ENV_H_
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/zipf.h"
 
@@ -108,6 +109,9 @@ std::vector<ActionKey> SyntheticTrace::DrawActionsForUser(UserId user,
 
 SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig& config,
                                       std::uint64_t seed) {
+  if (config.num_users <= 0) {
+    throw std::invalid_argument("SyntheticConfig.num_users must be positive");
+  }
   Rng rng(seed);
   SyntheticTrace trace;
   trace.config_ = config;

@@ -5,12 +5,13 @@
 #include "baseline/ideal_network.h"
 #include "dataset/generator.h"
 
+#include "test_util.h"
+
 namespace p3q {
 namespace {
 
 TEST(IdealNetworkTest, MatchesBruteForceOnSmallTrace) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 7);
+  const SyntheticTrace trace = test::SmallTrace(80, 7);
   const Dataset& d = trace.dataset();
   const int s = 10;
   const IdealNetworks ideal = ComputeIdealNetworks(d, s);
@@ -35,8 +36,7 @@ TEST(IdealNetworkTest, MatchesBruteForceOnSmallTrace) {
 }
 
 TEST(IdealNetworkTest, ScoresPositiveAndSorted) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(120), 9);
+  const SyntheticTrace trace = test::SmallTrace(120, 9);
   const IdealNetworks ideal = ComputeIdealNetworks(trace.dataset(), 15);
   for (const auto& list : ideal) {
     EXPECT_LE(list.size(), 15u);
@@ -50,8 +50,7 @@ TEST(IdealNetworkTest, ScoresPositiveAndSorted) {
 }
 
 TEST(IdealNetworkTest, StoreOverloadSeesUpdatedProfiles) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(60), 11);
+  const SyntheticTrace trace = test::SmallTrace(60, 11);
   ProfileStore store = trace.dataset().BuildProfileStore(1024);
   const IdealNetworks before = ComputeIdealNetworks(store, 8);
   // Clone user 0's profile onto user 1: they become maximally similar.

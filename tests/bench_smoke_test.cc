@@ -1,0 +1,87 @@
+// Smoke-runs every bench binary at tiny scale so the figure/table
+// regeneration code is exercised by ctest, not only by hand runs.
+//
+// Each bench honours the P3Q_BENCH_USERS / P3Q_BENCH_CYCLES /
+// P3Q_BENCH_QUERIES environment knobs (see bench/bench_common.h); with a
+// 60-user population every figure completes in well under a second while
+// still driving the full pipeline: trace generation, lazy convergence,
+// eager queries, metrics and table/CSV emission. CMake injects the binary
+// directory as P3Q_BENCH_BIN_DIR and the comma-separated list of built
+// bench targets as P3Q_BENCH_LIST (derived from the same glob that builds
+// them, so new benches are smoke-tested automatically).
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef P3Q_BENCH_BIN_DIR
+#error "P3Q_BENCH_BIN_DIR must be defined by the build"
+#endif
+#ifndef P3Q_BENCH_LIST
+#error "P3Q_BENCH_LIST must be defined by the build"
+#endif
+
+namespace p3q {
+namespace {
+
+/// The built bench targets, split into the plain figure/table benches and
+/// the Google-Benchmark micro benches (micro == true).
+std::vector<std::string> BenchNames(bool micro) {
+  std::vector<std::string> out;
+  std::istringstream in(P3Q_BENCH_LIST);
+  std::string name;
+  while (std::getline(in, name, ',')) {
+    if (name.empty()) continue;
+    const bool is_micro = name.rfind("bench_micro_", 0) == 0;
+    if (is_micro == micro) out.push_back(name);
+  }
+  return out;
+}
+
+void RunBench(const std::string& name, const std::string& extra_args) {
+  // Quote the binary path: the build dir may contain spaces.
+  const std::string cmd = "\"" + std::string(P3Q_BENCH_BIN_DIR) + "/" + name +
+                          "\"" + extra_args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  ASSERT_TRUE(WIFEXITED(status)) << cmd << " killed by signal";
+  EXPECT_EQ(WEXITSTATUS(status), 0) << cmd;
+}
+
+class BenchSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchSmoke, RunsCleanAtTinyScale) {
+  // Tiny but non-degenerate: ResolveBenchScale gives s = max(users/10, 10),
+  // so 60 users run with s = 10 personal networks.
+  ::setenv("P3Q_BENCH_USERS", "60", 1);
+  ::setenv("P3Q_BENCH_CYCLES", "3", 1);
+  ::setenv("P3Q_BENCH_QUERIES", "2", 1);
+  ::setenv("P3Q_BENCH_CSV", "1", 1);  // exercise the CSV emitters too
+  ::unsetenv("P3Q_BENCH_FULL");
+  RunBench(GetParam(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Figures, BenchSmoke,
+                         ::testing::ValuesIn(BenchNames(/*micro=*/false)),
+                         [](const auto& info) { return info.param; });
+
+#ifdef P3Q_HAVE_BENCHMARK
+// The Google-Benchmark micro benches accept standard benchmark flags; a
+// minimal min_time keeps the smoke run fast.
+class MicroBenchSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MicroBenchSmoke, RunsClean) {
+  RunBench(GetParam(), " --benchmark_min_time=0.01");
+}
+
+INSTANTIATE_TEST_SUITE_P(Micro, MicroBenchSmoke,
+                         ::testing::ValuesIn(BenchNames(/*micro=*/true)),
+                         [](const auto& info) { return info.param; });
+#endif  // P3Q_HAVE_BENCHMARK
+
+}  // namespace
+}  // namespace p3q

@@ -2,6 +2,7 @@
 // update batches and the Table-1 storage distributions.
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
@@ -12,6 +13,8 @@
 #include "dataset/storage_dist.h"
 #include "dataset/trace_loader.h"
 #include "dataset/trace_writer.h"
+
+#include "test_util.h"
 
 namespace p3q {
 namespace {
@@ -75,6 +78,13 @@ TEST(DatasetTest, BuildProfileStore) {
   EXPECT_EQ(store.Get(0)->owner(), 0u);
 }
 
+TEST(GeneratorTest, RejectsNonPositiveUsers) {
+  EXPECT_THROW(GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(0), 1),
+               std::invalid_argument);
+  EXPECT_THROW(GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(-5), 1),
+               std::invalid_argument);
+}
+
 TEST(GeneratorTest, DeterministicForSameSeed) {
   const SyntheticConfig config = SyntheticConfig::DeliciousLike(100);
   const SyntheticTrace a = GenerateSyntheticTrace(config, 7);
@@ -109,8 +119,7 @@ TEST(GeneratorTest, RespectsActivityBounds) {
 }
 
 TEST(GeneratorTest, CommunityClusteringCreatesSimilarityStructure) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(300), 13);
+  const SyntheticTrace trace = test::SmallTrace(300, 13);
   const Dataset& d = trace.dataset();
   const auto& community = trace.user_community();
   // Average similarity within a community must dominate across communities.
@@ -137,8 +146,7 @@ TEST(GeneratorTest, CommunityClusteringCreatesSimilarityStructure) {
 }
 
 TEST(GeneratorTest, LongTailItemPopularity) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(300), 17);
+  const SyntheticTrace trace = test::SmallTrace(300, 17);
   std::unordered_map<ItemId, int> users_per_item;
   for (UserId u = 0; u < 300; ++u) {
     ItemId last = kInvalidItem;
@@ -162,8 +170,7 @@ TEST(GeneratorTest, LongTailItemPopularity) {
 }
 
 TEST(UpdateBatchTest, MatchesConfiguredShape) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(400), 19);
+  const SyntheticTrace trace = test::SmallTrace(400, 19);
   UpdateConfig config;  // paper defaults: 15.4% of users, mean 8, max 268
   Rng rng(23);
   const UpdateBatch batch = trace.MakeUpdateBatch(config, &rng);
@@ -176,8 +183,7 @@ TEST(UpdateBatchTest, MatchesConfiguredShape) {
 }
 
 TEST(UpdateBatchTest, ActionsAreGenuinelyNew) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(200), 29);
+  const SyntheticTrace trace = test::SmallTrace(200, 29);
   Rng rng(31);
   const UpdateBatch batch = trace.MakeUpdateBatch(UpdateConfig{}, &rng);
   ASSERT_GT(batch.NumChangedUsers(), 0u);
@@ -191,8 +197,7 @@ TEST(UpdateBatchTest, ActionsAreGenuinelyNew) {
 }
 
 TEST(UpdateBatchTest, ApplyBumpsVersions) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 37);
+  const SyntheticTrace trace = test::SmallTrace(100, 37);
   ProfileStore store = trace.dataset().BuildProfileStore(1024);
   Rng rng(41);
   const UpdateBatch batch = trace.MakeUpdateBatch(UpdateConfig{}, &rng);
@@ -238,8 +243,7 @@ TEST(TraceLoaderTest, MissingFileFails) {
 }
 
 TEST(TraceWriterTest, RoundTripsThroughLoader) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(60), 71);
+  const SyntheticTrace trace = test::SmallTrace(60, 71);
   std::stringstream buffer;
   const std::size_t lines = WriteTaggingTrace(trace.dataset(), buffer);
   EXPECT_EQ(lines, trace.dataset().ComputeStats().num_actions);
@@ -266,8 +270,7 @@ TEST(TraceWriterTest, RoundTripsThroughLoader) {
 }
 
 TEST(TraceWriterTest, FileRoundTrip) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(20), 73);
+  const SyntheticTrace trace = test::SmallTrace(20, 73);
   const std::string path = ::testing::TempDir() + "/p3q_trace_roundtrip.tsv";
   ASSERT_TRUE(WriteTaggingTraceFile(trace.dataset(), path));
   const auto loaded = LoadTaggingTraceFile(path);
@@ -277,15 +280,13 @@ TEST(TraceWriterTest, FileRoundTrip) {
 }
 
 TEST(TraceWriterTest, UnwritablePathFails) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(10), 79);
+  const SyntheticTrace trace = test::SmallTrace(10, 79);
   EXPECT_FALSE(
       WriteTaggingTraceFile(trace.dataset(), "/nonexistent/dir/out.tsv"));
 }
 
 TEST(QueryGenTest, TagsComeFromTheSourceItem) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 43);
+  const SyntheticTrace trace = test::SmallTrace(100, 43);
   Rng rng(47);
   for (UserId u = 0; u < 50; ++u) {
     const QuerySpec q = GenerateQueryForUser(trace.dataset(), u, &rng);

@@ -9,31 +9,21 @@
 #include "dataset/generator.h"
 #include "dataset/query_gen.h"
 #include "eval/recall.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
-struct Env {
-  explicit Env(int users = 150, std::uint64_t seed = 5) {
-    trace = std::make_unique<SyntheticTrace>(
-        GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(users), seed));
-    config.network_size = 15;
-    config.stored_profiles = 5;
-    system = std::make_unique<P3QSystem>(trace->dataset(), config,
-                                         std::vector<int>{}, seed + 1);
-    system->BootstrapRandomViews();
-    system->SeedNetworks(
-        ComputeIdealNetworks(trace->dataset(), config.network_size));
-  }
-  std::unique_ptr<SyntheticTrace> trace;
-  P3QConfig config;
-  std::unique_ptr<P3QSystem> system;
-};
+// The suite's deployment: s=15 personal networks seeded from the ideal
+// k-NN graph, so dynamism tests start from converged state.
+test::TestSystem MakeEnv() {
+  return test::TestSystem({.network_size = 15, .seed = 5});
+}
 
 TEST(DynamicsEdgeTest, UpdateBatchMidQueryKeepsProcessingSound) {
-  Env env;
+  auto env = MakeEnv();
   Rng rng(7);
-  const QuerySpec spec = GenerateQueryForUser(env.trace->dataset(), 3, &rng);
+  const QuerySpec spec = GenerateQueryForUser(env.trace.dataset(), 3, &rng);
   ASSERT_FALSE(spec.tags.empty());
   const std::uint64_t qid = env.system->IssueQuery(spec);
   env.system->RunEagerCycles(2);
@@ -41,7 +31,7 @@ TEST(DynamicsEdgeTest, UpdateBatchMidQueryKeepsProcessingSound) {
   // Profiles change while the query is in flight.
   UpdateConfig heavy;
   heavy.changed_user_fraction = 0.5;
-  const UpdateBatch batch = env.trace->MakeUpdateBatch(heavy, &rng);
+  const UpdateBatch batch = env.trace.MakeUpdateBatch(heavy, &rng);
   ASSERT_GT(batch.NumChangedUsers(), 0u);
   env.system->ApplyUpdateBatch(batch);
 
@@ -58,13 +48,13 @@ TEST(DynamicsEdgeTest, UpdateBatchMidQueryKeepsProcessingSound) {
 }
 
 TEST(DynamicsEdgeTest, RejoiningUsersServeAgain) {
-  Env env;
+  auto env = MakeEnv();
   // Take user 10's whole neighbourhood offline, then bring them back.
   std::vector<UserId> members = env.system->node(10).network().Members();
   for (UserId v : members) env.system->network().SetOnline(v, false);
 
   Rng rng(11);
-  QuerySpec spec = GenerateQueryForUser(env.trace->dataset(), 10, &rng);
+  QuerySpec spec = GenerateQueryForUser(env.trace.dataset(), 10, &rng);
   ASSERT_FALSE(spec.tags.empty());
   const std::uint64_t q1 = env.system->IssueQuery(spec);
   env.system->RunEagerCycles(10);
@@ -79,7 +69,7 @@ TEST(DynamicsEdgeTest, RejoiningUsersServeAgain) {
 }
 
 TEST(DynamicsEdgeTest, StaleReplicasKeepServingDepartedUsers) {
-  Env env;
+  auto env = MakeEnv();
   // Update some profiles, then their owners leave before gossip refreshes
   // anything: replicas are stale but must still serve queries (the paper:
   // "if the owner has left, the replicas of her profile would not be
@@ -87,7 +77,7 @@ TEST(DynamicsEdgeTest, StaleReplicasKeepServingDepartedUsers) {
   // absence" — here they are stale w.r.t. the pre-departure update, which
   // is the worst case).
   Rng rng(13);
-  const UpdateBatch batch = env.trace->MakeUpdateBatch(UpdateConfig{}, &rng);
+  const UpdateBatch batch = env.trace.MakeUpdateBatch(UpdateConfig{}, &rng);
   env.system->ApplyUpdateBatch(batch);
   for (const ProfileUpdate& u : batch.updates) {
     env.system->network().SetOnline(u.user, false);
@@ -97,7 +87,7 @@ TEST(DynamicsEdgeTest, StaleReplicasKeepServingDepartedUsers) {
   for (UserId querier = 0; querier < 30; ++querier) {
     if (!env.system->network().IsOnline(querier)) continue;
     const QuerySpec spec =
-        GenerateQueryForUser(env.trace->dataset(), querier, &rng);
+        GenerateQueryForUser(env.trace.dataset(), querier, &rng);
     if (spec.tags.empty()) continue;
     const std::uint64_t qid = env.system->IssueQuery(spec);
     env.system->RunEagerCycles(15);
@@ -114,12 +104,12 @@ TEST(DynamicsEdgeTest, StaleReplicasKeepServingDepartedUsers) {
 }
 
 TEST(DynamicsEdgeTest, LazyGossipAfterMassUpdateRestoresRecall) {
-  Env env;
+  auto env = MakeEnv();
   Rng rng(17);
   UpdateConfig heavy;
   heavy.changed_user_fraction = 0.7;
   heavy.mean_new_actions = 40;
-  const UpdateBatch batch = env.trace->MakeUpdateBatch(heavy, &rng);
+  const UpdateBatch batch = env.trace.MakeUpdateBatch(heavy, &rng);
   env.system->ApplyUpdateBatch(batch);
 
   auto avg_recall = [&]() {
@@ -127,7 +117,7 @@ TEST(DynamicsEdgeTest, LazyGossipAfterMassUpdateRestoresRecall) {
     int n = 0;
     for (UserId querier = 40; querier < 60; ++querier) {
       const QuerySpec spec =
-          GenerateQueryForUser(env.trace->dataset(), querier, &rng);
+          GenerateQueryForUser(env.trace.dataset(), querier, &rng);
       if (spec.tags.empty()) continue;
       const std::vector<ItemId> reference =
           ReferenceTopK(*env.system, spec, env.config.top_k);
@@ -148,9 +138,9 @@ TEST(DynamicsEdgeTest, LazyGossipAfterMassUpdateRestoresRecall) {
 }
 
 TEST(DynamicsEdgeTest, QuerierHerselfChangingProfileDoesNotBreakQueries) {
-  Env env;
+  auto env = MakeEnv();
   Rng rng(19);
-  const QuerySpec spec = GenerateQueryForUser(env.trace->dataset(), 8, &rng);
+  const QuerySpec spec = GenerateQueryForUser(env.trace.dataset(), 8, &rng);
   ASSERT_FALSE(spec.tags.empty());
   const std::uint64_t qid = env.system->IssueQuery(spec);
   env.system->RunEagerCycles(1);
@@ -163,10 +153,10 @@ TEST(DynamicsEdgeTest, QuerierHerselfChangingProfileDoesNotBreakQueries) {
 }
 
 TEST(DynamicsEdgeTest, RepeatedUpdateBatchesMonotoneVersions) {
-  Env env;
+  auto env = MakeEnv();
   Rng rng(23);
   for (int day = 0; day < 5; ++day) {
-    const UpdateBatch batch = env.trace->MakeUpdateBatch(UpdateConfig{}, &rng);
+    const UpdateBatch batch = env.trace.MakeUpdateBatch(UpdateConfig{}, &rng);
     env.system->ApplyUpdateBatch(batch);
     env.system->RunLazyCycles(5);
   }

@@ -8,34 +8,12 @@
 #include "dataset/generator.h"
 #include "dataset/query_gen.h"
 #include "eval/recall.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
-struct Env {
-  explicit Env(int users = 150, int s = 20, int c = 5, double alpha = 0.5,
-               std::uint64_t seed = 3) {
-    trace = std::make_unique<SyntheticTrace>(
-        GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(users), seed));
-    config.network_size = s;
-    config.stored_profiles = c;
-    config.alpha = alpha;
-    system = std::make_unique<P3QSystem>(trace->dataset(), config,
-                                         std::vector<int>{}, seed + 1);
-    system->BootstrapRandomViews();
-    system->SeedNetworks(
-        ComputeIdealNetworks(trace->dataset(), config.network_size));
-  }
-
-  QuerySpec QueryOf(UserId u) {
-    Rng rng(u * 7919 + 1);
-    return GenerateQueryForUser(trace->dataset(), u, &rng);
-  }
-
-  std::unique_ptr<SyntheticTrace> trace;
-  P3QConfig config;
-  std::unique_ptr<P3QSystem> system;
-};
+using Env = test::TestSystem;
 
 TEST(EagerProtocolTest, LocalResultAvailableAtCycleZero) {
   Env env;
@@ -81,7 +59,8 @@ TEST(EagerProtocolTest, PartitionNeverUsesAProfileTwice) {
 class AlphaSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(AlphaSweep, CompletesForEveryAlpha) {
-  Env env(120, 16, 4, GetParam(), 11);
+  Env env({.users = 120, .network_size = 16, .stored_profiles = 4,
+           .alpha = GetParam(), .seed = 11});
   const QuerySpec spec = env.QueryOf(2);
   const std::vector<ItemId> reference =
       ReferenceTopK(*env.system, spec, env.config.top_k);
@@ -97,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
 
 TEST(EagerProtocolTest, AlphaHalfCompletesFasterThanExtremes) {
   auto cycles_to_complete = [](double alpha) {
-    Env env(200, 30, 4, alpha, 17);
+    Env env({.users = 200, .network_size = 30, .stored_profiles = 4, .alpha = alpha, .seed = 17});
     const std::uint64_t qid = env.system->IssueQuery(env.QueryOf(4));
     int cycles = 0;
     while (!env.system->QueryComplete(qid) && cycles < 60) {
@@ -140,9 +119,9 @@ TEST(EagerProtocolTest, UsedProfilesGrowMonotonically) {
 TEST(EagerProtocolTest, EagerGossipRefreshesPersonalNetworks) {
   // Piggybacked maintenance: after an update batch, running only eager
   // cycles (no lazy) must refresh some replicas among reached users.
-  Env env(150, 20, 5, 0.5, 23);
+  Env env({.users = 150, .network_size = 20, .stored_profiles = 5, .alpha = 0.5, .seed = 23});
   Rng rng(29);
-  const UpdateBatch batch = env.trace->MakeUpdateBatch(UpdateConfig{}, &rng);
+  const UpdateBatch batch = env.trace.MakeUpdateBatch(UpdateConfig{}, &rng);
   ASSERT_GT(batch.NumChangedUsers(), 0u);
   env.system->ApplyUpdateBatch(batch);
 
@@ -183,7 +162,7 @@ TEST(EagerProtocolTest, MultipleConcurrentQueriesStayIndependent) {
 }
 
 TEST(EagerProtocolTest, ChurnDegradesButDoesNotCrash) {
-  Env env(200, 30, 5, 0.5, 31);
+  Env env({.users = 200, .network_size = 30, .stored_profiles = 5, .alpha = 0.5, .seed = 31});
   env.system->FailRandomFraction(0.5);
   // Pick an online querier.
   UserId querier = 0;
@@ -200,7 +179,7 @@ TEST(EagerProtocolTest, ChurnDegradesButDoesNotCrash) {
 }
 
 TEST(EagerProtocolTest, QueryStallsWhenEveryoneLeft) {
-  Env env(100, 15, 4, 0.5, 37);
+  Env env({.users = 100, .network_size = 15, .stored_profiles = 4, .alpha = 0.5, .seed = 37});
   // Everyone except the querier departs; gossip cannot reach anyone.
   const UserId querier = 42;
   for (UserId u = 0; u < 100; ++u) {
@@ -217,7 +196,7 @@ TEST(EagerProtocolTest, QueryStallsWhenEveryoneLeft) {
 
 TEST(EagerProtocolTest, EmptyTagQueryCompletesImmediatelyWhenAllStored) {
   // c == s: everything stored, no gossip needed (Algorithm 2 line 4).
-  Env env(80, 10, 10, 0.5, 41);
+  Env env({.users = 80, .network_size = 10, .stored_profiles = 10, .alpha = 0.5, .seed = 41});
   const QuerySpec spec = env.QueryOf(1);
   const std::uint64_t qid = env.system->IssueQuery(spec);
   EXPECT_TRUE(env.system->QueryComplete(qid));

@@ -9,6 +9,8 @@
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
 
+#include "test_util.h"
+
 namespace p3q {
 namespace {
 
@@ -21,8 +23,7 @@ TEST(RecallTest, BasicCases) {
 }
 
 TEST(EvalMetricsTest, SuccessRatioOneWhenSeededIdeal) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 3);
+  const SyntheticTrace trace = test::SmallTrace(100, 3);
   P3QConfig config;
   config.network_size = 12;
   config.stored_profiles = 4;
@@ -34,8 +35,7 @@ TEST(EvalMetricsTest, SuccessRatioOneWhenSeededIdeal) {
 }
 
 TEST(EvalMetricsTest, AurZeroAfterBatchOneAfterReseed) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 7);
+  const SyntheticTrace trace = test::SmallTrace(100, 7);
   P3QConfig config;
   config.network_size = 12;
   config.stored_profiles = 4;
@@ -54,8 +54,7 @@ TEST(EvalMetricsTest, AurZeroAfterBatchOneAfterReseed) {
 }
 
 TEST(EvalMetricsTest, AurOverSubsetOfUsers) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 13);
+  const SyntheticTrace trace = test::SmallTrace(80, 13);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 3;
@@ -74,8 +73,7 @@ TEST(EvalMetricsTest, AurOverSubsetOfUsers) {
 }
 
 TEST(EvalMetricsTest, ProfilesToUpdateMatchesReplicaOverlap) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 19);
+  const SyntheticTrace trace = test::SmallTrace(80, 19);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 5;
@@ -98,8 +96,7 @@ TEST(EvalMetricsTest, ProfilesToUpdateMatchesReplicaOverlap) {
 }
 
 TEST(EvalMetricsTest, CompleteNewNetworkDetection) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(60), 29);
+  const SyntheticTrace trace = test::SmallTrace(60, 29);
   P3QConfig config;
   config.network_size = 8;
   config.stored_profiles = 3;
@@ -126,8 +123,7 @@ TEST(EvalMetricsTest, CompleteNewNetworkDetection) {
 }
 
 TEST(EvalMetricsTest, StoredProfileLengthMatchesNetwork) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(50), 41);
+  const SyntheticTrace trace = test::SmallTrace(50, 41);
   P3QConfig config;
   config.network_size = 8;
   config.stored_profiles = 4;

@@ -9,20 +9,13 @@
 #include "dataset/generator.h"
 #include "eval/metrics_eval.h"
 #include "profile/similarity.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
-Profile MakeProfile(UserId owner, std::vector<std::pair<ItemId, TagId>> pairs) {
-  std::vector<ActionKey> actions;
-  for (auto [i, t] : pairs) actions.push_back(MakeAction(i, t));
-  return Profile(owner, std::move(actions), 0, 1024);
-}
-
-ProfilePtr MakeProfilePtr(UserId owner,
-                          std::vector<std::pair<ItemId, TagId>> pairs) {
-  return std::make_shared<Profile>(MakeProfile(owner, std::move(pairs)));
-}
+using test::MakeProfile;
+using test::MakeProfilePtr;
 
 TEST(SimilarityMetricTest, CommonActionsIsIdentity) {
   EXPECT_EQ(SimilarityScore(SimilarityMetric::kCommonActions, 7, 100, 50), 7u);
@@ -72,8 +65,7 @@ TEST(SimilarityMetricTest, AllMetricsHaveNames) {
 }
 
 TEST(SimilarityMetricTest, ProtocolRunsUnderJaccard) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(120), 3);
+  const SyntheticTrace trace = test::SmallTrace(120, 3);
   P3QConfig config;
   config.network_size = 15;
   config.stored_profiles = 5;
@@ -94,8 +86,7 @@ TEST(SimilarityMetricTest, ProtocolRunsUnderJaccard) {
 }
 
 TEST(IdealNetworkTest, MetricChangesRanking) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(150), 7);
+  const SyntheticTrace trace = test::SmallTrace(150, 7);
   const IdealNetworks raw =
       ComputeIdealNetworks(trace.dataset(), 10, SimilarityMetric::kCommonActions);
   const IdealNetworks jac =
@@ -111,8 +102,7 @@ TEST(IdealNetworkTest, MetricChangesRanking) {
 }
 
 TEST(ExplicitNetworkTest, SeedsDeclaredFriends) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(60), 11);
+  const SyntheticTrace trace = test::SmallTrace(60, 11);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 3;
@@ -133,8 +123,7 @@ TEST(ExplicitNetworkTest, SeedsDeclaredFriends) {
 TEST(ExplicitNetworkTest, EagerModeAloneSuffices) {
   // The paper's Section 4: with an explicit network as input, only the
   // eager mode is needed to answer queries.
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 17);
+  const SyntheticTrace trace = test::SmallTrace(100, 17);
   P3QConfig config;
   config.network_size = 12;
   config.stored_profiles = 3;
@@ -210,8 +199,7 @@ TEST(QueryExpansionTest, PersonalizedExpansionDisambiguates) {
 }
 
 TEST(BottomLayerAblationTest, DisablingSlowsDiscovery) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(150), 29);
+  const SyntheticTrace trace = test::SmallTrace(150, 29);
   const IdealNetworks ideal = ComputeIdealNetworks(trace.dataset(), 15);
   auto run = [&](bool bottom) {
     P3QConfig config;
@@ -231,8 +219,7 @@ TEST(BottomLayerAblationTest, DisablingSlowsDiscovery) {
 }
 
 TEST(BottomLayerAblationTest, NoBottomLayerMeansNoRpsTraffic) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 37);
+  const SyntheticTrace trace = test::SmallTrace(80, 37);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 3;

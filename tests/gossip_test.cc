@@ -6,21 +6,13 @@
 #include "gossip/peer_sampling.h"
 #include "gossip/view.h"
 #include "profile/profile.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
-ProfilePtr MakeSnapshot(UserId owner, std::vector<ItemId> items,
-                        std::uint32_t version = 0) {
-  std::vector<ActionKey> actions;
-  for (ItemId i : items) actions.push_back(MakeAction(i, 1));
-  return std::make_shared<Profile>(owner, std::move(actions), version, 2048);
-}
-
-DigestInfo MakeDigest(UserId owner, std::vector<ItemId> items,
-                      std::uint32_t version = 0) {
-  return DigestInfo{owner, MakeSnapshot(owner, std::move(items), version)};
-}
+using test::MakeDigest;
+using test::MakeSnapshot;
 
 TEST(DigestInfoTest, ExposesVersionAndWireBytes) {
   const DigestInfo d = MakeDigest(3, {1, 2}, 5);

@@ -3,21 +3,18 @@
 #include <gtest/gtest.h>
 
 #include "core/personal_network.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
 ProfilePtr MakeSnapshot(UserId owner, std::size_t num_actions,
                         std::uint32_t version = 0) {
-  std::vector<ActionKey> actions;
-  for (std::size_t i = 0; i < num_actions; ++i) {
-    actions.push_back(MakeAction(static_cast<ItemId>(owner * 1000 + i), 1));
-  }
-  return std::make_shared<Profile>(owner, std::move(actions), version, 1024);
+  return test::MakeDisjointSnapshot(owner, num_actions, version);
 }
 
 DigestInfo MakeDigest(UserId owner, std::uint32_t version = 0) {
-  return DigestInfo{owner, MakeSnapshot(owner, 4, version)};
+  return test::MakeDisjointDigest(owner, version);
 }
 
 TEST(PersonalNetworkTest, RejectsZeroScoreAndSelf) {

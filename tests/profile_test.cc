@@ -4,16 +4,12 @@
 #include "common/random.h"
 #include "profile/profile.h"
 #include "profile/profile_store.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
 
-Profile MakeProfile(UserId owner, std::vector<std::pair<ItemId, TagId>> pairs,
-                    std::uint32_t version = 0) {
-  std::vector<ActionKey> actions;
-  for (auto [i, t] : pairs) actions.push_back(MakeAction(i, t));
-  return Profile(owner, std::move(actions), version, 1024);
-}
+using test::MakeProfile;
 
 TEST(ProfileTest, SortsAndDeduplicates) {
   const Profile p = MakeProfile(1, {{5, 2}, {1, 1}, {5, 2}, {3, 9}});

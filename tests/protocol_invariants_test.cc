@@ -9,6 +9,7 @@
 #include "dataset/generator.h"
 #include "dataset/query_gen.h"
 #include "eval/recall.h"
+#include "test_util.h"
 
 namespace p3q {
 namespace {
@@ -30,27 +31,24 @@ class ProtocolSweep : public ::testing::TestWithParam<SweepCase> {
  protected:
   void SetUp() override {
     const SweepCase& param = GetParam();
-    trace_ = std::make_unique<SyntheticTrace>(GenerateSyntheticTrace(
-        SyntheticConfig::DeliciousLike(param.users), param.seed));
-    config_.network_size = param.s;
-    config_.stored_profiles = param.c;
-    config_.alpha = param.alpha;
-    system_ = std::make_unique<P3QSystem>(trace_->dataset(), config_,
-                                          std::vector<int>{}, param.seed + 1);
-    system_->BootstrapRandomViews();
+    env_ = std::make_unique<test::TestSystem>(
+        test::TestSystem::Options{.users = param.users,
+                                  .network_size = param.s,
+                                  .stored_profiles = param.c,
+                                  .alpha = param.alpha,
+                                  .seed = param.seed,
+                                  .seed_ideal = false});
   }
 
-  std::unique_ptr<SyntheticTrace> trace_;
-  P3QConfig config_;
-  std::unique_ptr<P3QSystem> system_;
+  std::unique_ptr<test::TestSystem> env_;
 };
 
 TEST_P(ProtocolSweep, LazyModeInvariantsHoldEveryCycle) {
   const SweepCase& param = GetParam();
   for (int round = 0; round < 4; ++round) {
-    system_->RunLazyCycles(5);
+    env_->system->RunLazyCycles(5);
     for (UserId u = 0; u < static_cast<UserId>(param.users); ++u) {
-      const PersonalNetwork& net = system_->node(u).network();
+      const PersonalNetwork& net = env_->system->node(u).network();
       // Size and storage bounds.
       ASSERT_LE(net.size(), static_cast<std::size_t>(param.s));
       ASSERT_LE(net.StoredProfiles().size(), static_cast<std::size_t>(param.c));
@@ -70,9 +68,9 @@ TEST_P(ProtocolSweep, LazyModeInvariantsHoldEveryCycle) {
         }
       }
       // Random view bounded and self-free.
-      ASSERT_LE(system_->node(u).random_view().entries().size(),
-                static_cast<std::size_t>(config_.random_view_size));
-      for (const DigestInfo& d : system_->node(u).random_view().entries()) {
+      ASSERT_LE(env_->system->node(u).random_view().entries().size(),
+                static_cast<std::size_t>(env_->config.random_view_size));
+      for (const DigestInfo& d : env_->system->node(u).random_view().entries()) {
         ASSERT_NE(d.user, u);
       }
     }
@@ -81,24 +79,24 @@ TEST_P(ProtocolSweep, LazyModeInvariantsHoldEveryCycle) {
 
 TEST_P(ProtocolSweep, QueriesCompleteExactlyOnTheUsedProfiles) {
   const SweepCase& param = GetParam();
-  system_->SeedNetworks(
-      ComputeIdealNetworks(trace_->dataset(), param.s));
+  env_->system->SeedNetworks(
+      ComputeIdealNetworks(env_->trace.dataset(), param.s));
   Rng rng(param.seed + 99);
   for (int i = 0; i < 5; ++i) {
     const UserId querier =
         static_cast<UserId>(rng.NextUint64(param.users));
     const QuerySpec spec =
-        GenerateQueryForUser(trace_->dataset(), querier, &rng);
+        GenerateQueryForUser(env_->trace.dataset(), querier, &rng);
     if (spec.tags.empty()) continue;
     const std::vector<ItemId> reference =
-        ReferenceTopK(*system_, spec, config_.top_k);
-    const std::uint64_t qid = system_->IssueQuery(spec);
+        ReferenceTopK(*env_->system, spec, env_->config.top_k);
+    const std::uint64_t qid = env_->system->IssueQuery(spec);
     int guard = 0;
-    while (!system_->QueryComplete(qid) && guard++ < 200) {
-      system_->RunEagerCycles(1);
+    while (!env_->system->QueryComplete(qid) && guard++ < 200) {
+      env_->system->RunEagerCycles(1);
     }
-    ASSERT_TRUE(system_->QueryComplete(qid));
-    const ActiveQuery& q = system_->query(qid);
+    ASSERT_TRUE(env_->system->QueryComplete(qid));
+    const ActiveQuery& q = env_->system->query(qid);
     // Partition invariant: every personal-network profile used exactly
     // once; completion implies full coverage.
     EXPECT_EQ(q.NumUsedProfiles(), q.expected_profiles());
@@ -109,14 +107,14 @@ TEST_P(ProtocolSweep, QueriesCompleteExactlyOnTheUsedProfiles) {
       EXPECT_GE(q.history()[h].used_profiles,
                 q.history()[h - 1].used_profiles);
     }
-    system_->ForgetQuery(qid);
+    env_->system->ForgetQuery(qid);
   }
 }
 
 TEST_P(ProtocolSweep, TrafficAccountingIsConsistent) {
   const SweepCase& param = GetParam();
-  system_->RunLazyCycles(5);
-  const Metrics& m = system_->metrics();
+  env_->system->RunLazyCycles(5);
+  const Metrics& m = env_->system->metrics();
   // Every message type carries bytes iff it was sent.
   for (int t = 0; t < static_cast<int>(MessageType::kCount); ++t) {
     const MessageStats& s = m.Of(static_cast<MessageType>(t));
@@ -149,11 +147,10 @@ class ChurnSweep : public ::testing::TestWithParam<double> {};
 
 TEST_P(ChurnSweep, SystemStaysSoundUnderDeparture) {
   const double departure = GetParam();
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(150), 11);
-  P3QConfig config;
-  config.network_size = 15;
-  config.stored_profiles = 5;
+  // Built explicitly (not via TestSystem) to keep the suite's original
+  // trace/system seeds 11/13, which the recall thresholds were tuned on.
+  const SyntheticTrace trace = test::SmallTrace(150, 11);
+  const P3QConfig config = test::SmallConfig(15);
   P3QSystem system(trace.dataset(), config, {}, 13);
   system.BootstrapRandomViews();
   system.SeedNetworks(ComputeIdealNetworks(trace.dataset(), 15));
@@ -162,8 +159,9 @@ TEST_P(ChurnSweep, SystemStaysSoundUnderDeparture) {
   Rng rng(17);
   int attempted = 0;
   double recall_sum = 0;
-  for (int i = 0; i < 10; ++i) {
-    const UserId querier = static_cast<UserId>(rng.NextUint64(150));
+  // Scan the population for online queriers so even 95% departure attempts
+  // some queries; cap the workload at 10.
+  for (UserId querier = 0; querier < 150 && attempted < 10; ++querier) {
     if (!system.network().IsOnline(querier)) continue;
     const QuerySpec spec = GenerateQueryForUser(trace.dataset(), querier, &rng);
     if (spec.tags.empty()) continue;

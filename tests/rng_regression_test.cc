@@ -1,0 +1,116 @@
+// Regression tests for common/random.cc (see zipf_regression_test.cc for
+// the long-tail samplers).
+//
+// Two kinds of guarantees, both load-bearing for the reproduction:
+//   1. Cross-run determinism — every experiment in the repo is reproducible
+//      from a single seed, so the exact output streams of SplitMix64 and
+//      xoshiro256** are pinned with golden values. If one of these tests
+//      fails, the generator changed and every recorded figure/seed in the
+//      repo silently means something else.
+//   2. Distribution moments — empirical mean/variance of the samplers match
+//      their analytic values within generous deterministic tolerances.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace p3q {
+namespace {
+
+// --- 1. Golden streams: pin the implementations across runs/platforms. ---
+
+TEST(RngRegressionTest, SplitMix64GoldenStream) {
+  std::uint64_t state = 42;
+  EXPECT_EQ(SplitMix64(&state), 0xbdd732262feb6e95ULL);
+  EXPECT_EQ(SplitMix64(&state), 0x28efe333b266f103ULL);
+}
+
+TEST(RngRegressionTest, Xoshiro256GoldenStream) {
+  Rng rng(12345);
+  EXPECT_EQ(rng(), 0xbe6a36374160d49bULL);
+  EXPECT_EQ(rng(), 0x214aaa0637a688c6ULL);
+  EXPECT_EQ(rng(), 0xf69d16de9954d388ULL);
+  EXPECT_EQ(rng(), 0x0c60048c4e96e033ULL);
+}
+
+TEST(RngRegressionTest, ForkGoldenAndIndependentOfParentUse) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // Forking consumes parent state deterministically: re-seeding reproduces
+  // both streams.
+  Rng parent2(99);
+  Rng child2 = parent2.Fork();
+  EXPECT_EQ(child(), 0x4ec299a1c05644bbULL);
+  EXPECT_EQ(child2(), 0x4ec299a1c05644bbULL);
+  EXPECT_EQ(parent(), parent2());
+  EXPECT_EQ(child(), child2());
+}
+
+// --- 2. Moments. ---
+
+TEST(RngRegressionTest, UniformDoubleMeanAndVariance) {
+  Rng rng(1);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextDouble();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RngRegressionTest, PoissonMeanAndVariance) {
+  Rng rng(3);
+  for (double lambda : {0.5, 4.0, 100.0}) {  // Knuth path and normal path
+    const int n = 100000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.NextPoisson(lambda);
+      sum += x;
+      sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.05) << "lambda " << lambda;
+    EXPECT_NEAR(var, lambda, 0.1 * lambda + 0.1) << "lambda " << lambda;
+  }
+}
+
+TEST(RngRegressionTest, BinomialMeanAndVariance) {
+  Rng rng(5);
+  const int n_trials = 40;
+  const double p = 0.3;
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextBinomial(n_trials, p);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, n_trials * p, 0.1);
+  EXPECT_NEAR(var, n_trials * p * (1 - p), 0.3);
+}
+
+TEST(RngRegressionTest, ShuffleAndSampleDeterministic) {
+  auto run = []() {
+    Rng rng(23);
+    std::vector<int> v;
+    for (int i = 0; i < 64; ++i) v.push_back(i);
+    rng.Shuffle(&v);
+    std::vector<int> sample = rng.SampleWithoutReplacement(v, 10);
+    v.insert(v.end(), sample.begin(), sample.end());
+    return v;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace p3q

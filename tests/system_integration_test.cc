@@ -12,6 +12,8 @@
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
 
+#include "test_util.h"
+
 namespace p3q {
 namespace {
 
@@ -29,8 +31,7 @@ TEST(ConfigTest, ValidatesRanges) {
 }
 
 TEST(SystemTest, InvalidConfigThrows) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(30), 1);
+  const SyntheticTrace trace = test::SmallTrace(30, 1);
   P3QConfig config;
   config.alpha = -1;
   EXPECT_THROW(P3QSystem(trace.dataset(), config, {}, 1),
@@ -38,16 +39,14 @@ TEST(SystemTest, InvalidConfigThrows) {
 }
 
 TEST(SystemTest, WrongStorageVectorThrows) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(30), 1);
+  const SyntheticTrace trace = test::SmallTrace(30, 1);
   P3QConfig config;
   EXPECT_THROW(P3QSystem(trace.dataset(), config, std::vector<int>{1, 2}, 1),
                std::invalid_argument);
 }
 
 TEST(SystemTest, HeterogeneousStorageAssignmentRespected) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(50), 2);
+  const SyntheticTrace trace = test::SmallTrace(50, 2);
   P3QConfig config;
   config.network_size = 20;
   Rng rng(3);
@@ -62,8 +61,7 @@ TEST(SystemTest, HeterogeneousStorageAssignmentRespected) {
 }
 
 TEST(SystemTest, FullyDeterministicEndToEnd) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 5);
+  const SyntheticTrace trace = test::SmallTrace(100, 5);
   auto run = [&trace]() {
     P3QConfig config;
     config.network_size = 12;
@@ -83,8 +81,7 @@ TEST(SystemTest, FullyDeterministicEndToEnd) {
 }
 
 TEST(SystemTest, DifferentSeedsProduceDifferentRuns) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(100), 5);
+  const SyntheticTrace trace = test::SmallTrace(100, 5);
   P3QConfig config;
   config.network_size = 12;
   config.stored_profiles = 4;
@@ -98,8 +95,7 @@ TEST(SystemTest, DifferentSeedsProduceDifferentRuns) {
 }
 
 TEST(SystemTest, PairInfoIsSymmetricallyCachedAndOriented) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(40), 7);
+  const SyntheticTrace trace = test::SmallTrace(40, 7);
   P3QConfig config;
   P3QSystem system(trace.dataset(), config, {}, 9);
   const Profile& a = *system.profile_store().Get(3);
@@ -116,8 +112,7 @@ TEST(SystemTest, PairInfoIsSymmetricallyCachedAndOriented) {
 TEST(SystemTest, ColdStartToAccurateQueryPipeline) {
   // The paper's full story on a small scale: converge lazily, query eagerly,
   // reach the exact personalized result.
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(150), 11);
+  const SyntheticTrace trace = test::SmallTrace(150, 11);
   P3QConfig config;
   config.network_size = 15;
   config.stored_profiles = 5;
@@ -146,8 +141,7 @@ TEST(SystemTest, ColdStartToAccurateQueryPipeline) {
 }
 
 TEST(SystemTest, SeededNetworksMatchIdealContents) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 17);
+  const SyntheticTrace trace = test::SmallTrace(80, 17);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 3;
@@ -166,8 +160,7 @@ TEST(SystemTest, SeededNetworksMatchIdealContents) {
 }
 
 TEST(SystemTest, ReachedUsersScaleWithinTheoreticalBound) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(150), 21);
+  const SyntheticTrace trace = test::SmallTrace(150, 21);
   P3QConfig config;
   config.network_size = 20;
   config.stored_profiles = 4;
@@ -188,8 +181,7 @@ TEST(SystemTest, ReachedUsersScaleWithinTheoreticalBound) {
 }
 
 TEST(SystemTest, UpdateBatchChangesReferenceResults) {
-  const SyntheticTrace trace =
-      GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(80), 27);
+  const SyntheticTrace trace = test::SmallTrace(80, 27);
   P3QConfig config;
   config.network_size = 10;
   config.stored_profiles = 10;  // store everything: queries complete locally

@@ -1,0 +1,108 @@
+// Regression tests for common/zipf.cc: the Zipf rejection-inversion sampler
+// and the log-normal activity sampler behind the synthetic delicious trace.
+//
+// Same philosophy as rng_regression_test.cc: golden streams pin cross-run
+// determinism for a fixed seed (any change here silently re-rolls every
+// synthetic dataset in the repo), and empirical moments are checked against
+// the analytic values of the laws.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/zipf.h"
+
+namespace p3q {
+namespace {
+
+TEST(ZipfRegressionTest, ZipfGoldenStream) {
+  Rng rng(7);
+  const ZipfSampler zipf(100, 1.1);
+  const std::vector<std::uint64_t> expected{1, 17, 0, 0, 0, 0, 66, 50};
+  for (std::uint64_t want : expected) {
+    EXPECT_EQ(zipf.Sample(&rng), want);
+  }
+}
+
+TEST(ZipfRegressionTest, ZipfFrequenciesMatchLaw) {
+  // Empirical rank frequencies vs the exact normalized 1/(k+1)^s masses.
+  const std::uint64_t ranks = 50;
+  const double s = 1.2;
+  Rng rng(11);
+  const ZipfSampler zipf(ranks, s);
+  const int n = 400000;
+  std::vector<int> counts(ranks, 0);
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+
+  double norm = 0;
+  for (std::uint64_t k = 0; k < ranks; ++k) norm += std::pow(k + 1.0, -s);
+  for (std::uint64_t k = 0; k < 8; ++k) {  // head carries the mass
+    const double expected = std::pow(k + 1.0, -s) / norm;
+    const double observed = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(observed, expected, 0.15 * expected + 0.002) << "rank " << k;
+  }
+  // Monotone non-increasing head: rank 0 must dominate.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+}
+
+TEST(ZipfRegressionTest, ZipfMeanMatchesAnalyticValue) {
+  const std::uint64_t ranks = 100;
+  const double s = 1.1;
+  double norm = 0, expected_mean = 0;
+  for (std::uint64_t k = 0; k < ranks; ++k) {
+    const double w = std::pow(k + 1.0, -s);
+    norm += w;
+    expected_mean += k * w;
+  }
+  expected_mean /= norm;
+
+  Rng rng(13);
+  const ZipfSampler zipf(ranks, s);
+  const int n = 400000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(zipf.Sample(&rng));
+  EXPECT_NEAR(sum / n, expected_mean, 0.05 * expected_mean + 0.05);
+}
+
+TEST(ZipfRegressionTest, LogNormalMeanAndMedian) {
+  const double mu = 2.0, sigma = 0.75;
+  Rng rng(17);
+  const LogNormalSampler sampler(mu, sigma);
+  const int n = 200000;
+  std::vector<double> xs;
+  xs.reserve(n);
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = sampler.Sample(&rng);
+    ASSERT_GT(x, 0.0);
+    xs.push_back(x);
+    sum += x;
+  }
+  const double expected_mean = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / n, expected_mean, 0.05 * expected_mean);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(mu), 0.05 * std::exp(mu));
+}
+
+TEST(ZipfRegressionTest, WholePipelineDeterministicAcrossInstances) {
+  auto draw = []() {
+    Rng rng(2026);
+    ZipfSampler zipf(5000, 0.9);
+    LogNormalSampler act(3.0, 1.2);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 1000; ++i) {
+      acc = acc * 31 + zipf.Sample(&rng);
+      acc ^= static_cast<std::uint64_t>(act.Sample(&rng) * 100);
+      acc += rng.NextUint64(1000) + static_cast<std::uint64_t>(rng.NextPoisson(4.0));
+    }
+    return acc;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+}  // namespace
+}  // namespace p3q

@@ -112,6 +112,14 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  if (opt.users < 1 && opt.trace_path.empty()) {
+    std::cerr << "--users must be >= 1\n";
+    return std::nullopt;
+  }
+  if (opt.lazy_cycles < 0 || opt.eager_cycles < 0 || opt.queries < 0) {
+    std::cerr << "--lazy-cycles, --eager-cycles and --queries must be >= 0\n";
+    return std::nullopt;
+  }
   return opt;
 }
 
@@ -162,6 +170,10 @@ int main(int argc, char** argv) {
   config.stored_profiles = std::min(opt.stored, opt.network_size);
   config.alpha = opt.alpha;
   config.top_k = opt.top_k;
+  if (const std::string error = config.Validate(); !error.empty()) {
+    std::cerr << "invalid configuration: " << error << "\n";
+    return 1;
+  }
   std::vector<int> per_user_c;
   Rng rng(opt.seed + 7);
   if (opt.lambda > 0) {
