@@ -138,6 +138,34 @@ std::vector<UserId> P3QSystem::FailRandomFraction(double fraction) {
   return network_.FailRandomFraction(fraction, &rng_);
 }
 
+void P3QSystem::RejoinUser(UserId user) {
+  if (network_.IsOnline(user)) return;
+  network_.SetOnline(user, true);
+  node(user).SetOwnProfile(store_.Get(user));
+  // Re-bootstrap the random view from the currently-online population (the
+  // bootstrap peer-sampling service only hands out live peers).
+  std::vector<UserId> candidates = network_.OnlineUsers();
+  candidates.erase(std::remove(candidates.begin(), candidates.end(), user),
+                   candidates.end());
+  std::vector<UserId> peers = rng_.SampleWithoutReplacement(
+      candidates, static_cast<std::size_t>(config_.random_view_size));
+  std::sort(peers.begin(), peers.end());
+  std::vector<DigestInfo> entries;
+  entries.reserve(peers.size());
+  for (UserId v : peers) entries.push_back(DigestInfo{v, store_.Get(v)});
+  node(user).random_view().Init(std::move(entries));
+}
+
+std::vector<UserId> P3QSystem::RejoinRandomFraction(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::vector<UserId> away = network_.OfflineUsers();
+  const std::size_t num_back =
+      static_cast<std::size_t>(static_cast<double>(away.size()) * fraction);
+  std::vector<UserId> back = rng_.SampleWithoutReplacement(away, num_back);
+  for (UserId u : back) RejoinUser(u);
+  return back;
+}
+
 PairSimilarity P3QSystem::PairInfo(const Profile& a, const Profile& b) {
   assert(a.owner() != b.owner());
   const bool swapped = a.owner() > b.owner();

@@ -128,6 +128,23 @@ class P3QSystem {
   /// Takes a random fraction of online users offline; returns them.
   std::vector<UserId> FailRandomFraction(double fraction);
 
+  /// Takes one user offline (duty-cycle churn goes through here so every
+  /// departure path shares any future departure bookkeeping). No-op for
+  /// users already offline.
+  void FailUser(UserId user) { network_.SetOnline(user, false); }
+
+  /// Brings a departed user back: marks her online, re-syncs her own profile
+  /// to the store's current snapshot (she may have tagged while away) and
+  /// re-bootstraps her random view with r uniformly random *online* peers —
+  /// the peer-sampling service a rejoining node would contact. Her personal
+  /// network (and its stored replicas) survives the absence, as replicas do
+  /// in the paper's churn model. No-op for users already online.
+  void RejoinUser(UserId user);
+
+  /// Brings a uniformly random `fraction` (clamped to [0, 1]) of currently
+  /// offline users back via RejoinUser; returns them.
+  std::vector<UserId> RejoinRandomFraction(double fraction);
+
   // -- Internals shared by the protocols ------------------------------------
 
   /// Similarity of two profile snapshots, memoized on (owner, version)

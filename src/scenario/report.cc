@@ -1,0 +1,202 @@
+#include "scenario/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace p3q {
+namespace {
+
+/// Fixed-precision double rendering (no locale, no exponent) so reports are
+/// byte-stable across platforms.
+std::string Num(double v, int precision = 6) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendTrafficJson(const Metrics& traffic, const std::string& indent,
+                       std::ostringstream* out) {
+  *out << "{\n"
+       << indent << "  \"total\": {\"messages\": " << traffic.TotalMessages()
+       << ", \"bytes\": " << traffic.TotalBytes() << "},\n"
+       << indent << "  \"by_type\": {\n";
+  for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+    const auto type = static_cast<MessageType>(i);
+    const MessageStats& s = traffic.Of(type);
+    *out << indent << "    \"" << MessageTypeName(type)
+         << "\": {\"messages\": " << s.messages << ", \"bytes\": " << s.bytes
+         << "}";
+    if (i + 1 < static_cast<int>(MessageType::kCount)) *out << ",";
+    *out << "\n";
+  }
+  *out << indent << "  }\n" << indent << "}";
+}
+
+void AppendTimingJson(const PhaseTiming& timing, std::ostringstream* out) {
+  *out << "{\"wall_seconds\": " << Num(timing.wall_seconds)
+       << ", \"cycles_per_sec\": " << Num(timing.cycles_per_sec, 1)
+       << ", \"user_cycles_per_sec\": " << Num(timing.user_cycles_per_sec, 1)
+       << "}";
+}
+
+}  // namespace
+
+std::string ScenarioReportToJson(const ScenarioReport& report,
+                                 bool include_timing) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"scenario\": \"" << JsonEscape(report.scenario) << "\",\n"
+      << "  \"description\": \"" << JsonEscape(report.description) << "\",\n"
+      << "  \"seed\": " << report.seed << ",\n"
+      << "  \"users\": " << report.users << ",\n"
+      << "  \"config\": {\"network_size\": " << report.network_size
+      << ", \"stored_profiles\": " << report.stored_profiles
+      << ", \"top_k\": " << report.top_k << ", \"alpha\": " << Num(report.alpha)
+      << "},\n"
+      << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < report.phases.size(); ++i) {
+    const PhaseReport& p = report.phases[i];
+    out << "    {\n"
+        << "      \"name\": \"" << JsonEscape(p.name) << "\",\n"
+        << "      \"mode\": \"" << p.mode << "\",\n"
+        << "      \"cycles\": " << p.cycles << ",\n"
+        << "      \"online_at_end\": " << p.online_at_end << ",\n"
+        << "      \"departures\": " << p.departures << ",\n"
+        << "      \"rejoins\": " << p.rejoins << ",\n"
+        << "      \"queries\": {\"issued\": " << p.queries_issued
+        << ", \"completed\": " << p.queries_completed
+        << ", \"avg_recall\": " << Num(p.avg_recall)
+        << ", \"avg_coverage\": " << Num(p.avg_coverage) << "},\n"
+        << "      \"success_ratio\": " << Num(p.success_ratio) << ",\n"
+        << "      \"traffic\": ";
+    AppendTrafficJson(p.traffic, "      ", &out);
+    if (include_timing) {
+      out << ",\n      \"timing\": ";
+      AppendTimingJson(p.timing, &out);
+    }
+    out << "\n    }" << (i + 1 < report.phases.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"totals\": {\n"
+      << "    \"cycles\": " << report.total_cycles << ",\n"
+      << "    \"departures\": " << report.total_departures << ",\n"
+      << "    \"rejoins\": " << report.total_rejoins << ",\n"
+      << "    \"queries\": {\"issued\": " << report.total_queries_issued
+      << ", \"completed\": " << report.total_queries_completed << "},\n"
+      << "    \"traffic\": ";
+  AppendTrafficJson(report.total_traffic, "    ", &out);
+  if (include_timing) {
+    out << ",\n    \"timing\": ";
+    AppendTimingJson(report.total_timing, &out);
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+std::string ScenarioReportToCsv(const ScenarioReport& report,
+                                bool include_timing) {
+  std::ostringstream out;
+  out << "scenario,phase,mode,cycles,online_at_end,departures,rejoins,"
+         "queries_issued,queries_completed,avg_recall,avg_coverage,"
+         "success_ratio,total_messages,total_bytes";
+  for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+    const char* name = MessageTypeName(static_cast<MessageType>(i));
+    out << "," << name << "_messages," << name << "_bytes";
+  }
+  if (include_timing) {
+    out << ",wall_seconds,cycles_per_sec,user_cycles_per_sec";
+  }
+  out << "\n";
+
+  auto row = [&](const std::string& phase_name, const std::string& mode,
+                 std::uint64_t cycles, std::size_t online_at_end,
+                 std::size_t departures, std::size_t rejoins, int issued,
+                 int completed, double recall, double coverage, double success,
+                 const Metrics& traffic, const PhaseTiming& timing) {
+    out << report.scenario << "," << phase_name << "," << mode << "," << cycles
+        << "," << online_at_end << "," << departures << "," << rejoins << ","
+        << issued << "," << completed << "," << Num(recall) << ","
+        << Num(coverage) << "," << Num(success) << ","
+        << traffic.TotalMessages() << "," << traffic.TotalBytes();
+    for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+      const MessageStats& s = traffic.Of(static_cast<MessageType>(i));
+      out << "," << s.messages << "," << s.bytes;
+    }
+    if (include_timing) {
+      out << "," << Num(timing.wall_seconds) << ","
+          << Num(timing.cycles_per_sec, 1) << ","
+          << Num(timing.user_cycles_per_sec, 1);
+    }
+    out << "\n";
+  };
+
+  for (const PhaseReport& p : report.phases) {
+    row(p.name, p.mode, p.cycles, p.online_at_end, p.departures, p.rejoins,
+        p.queries_issued, p.queries_completed, p.avg_recall, p.avg_coverage,
+        p.success_ratio, p.traffic, p.timing);
+  }
+  const PhaseReport* last = report.phases.empty() ? nullptr : &report.phases.back();
+  row("total", "-", report.total_cycles,
+      last != nullptr ? last->online_at_end : 0, report.total_departures,
+      report.total_rejoins, report.total_queries_issued,
+      report.total_queries_completed,
+      last != nullptr ? last->avg_recall : -1,
+      last != nullptr ? last->avg_coverage : 0,
+      last != nullptr ? last->success_ratio : 0, report.total_traffic,
+      report.total_timing);
+  return out.str();
+}
+
+namespace {
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool WriteScenarioReportJson(const ScenarioReport& report,
+                             const std::string& path, bool include_timing) {
+  return WriteTextFile(path, ScenarioReportToJson(report, include_timing));
+}
+
+bool WriteScenarioReportCsv(const ScenarioReport& report,
+                            const std::string& path, bool include_timing) {
+  return WriteTextFile(path, ScenarioReportToCsv(report, include_timing));
+}
+
+}  // namespace p3q

@@ -1,0 +1,40 @@
+// Structured serialization of scenario reports.
+//
+// A ScenarioReport renders to JSON (one object, phases as an array, traffic
+// split per MessageType) and to CSV (one row per phase plus a totals row).
+// Both emitters format floating-point fields with a fixed precision and are
+// byte-deterministic in the report's contents; the wall-clock timing block —
+// the only non-deterministic part of a run — is excluded unless
+// `include_timing` is set, so that two runs with the same seed serialize
+// identically by default.
+#ifndef P3Q_SCENARIO_REPORT_H_
+#define P3Q_SCENARIO_REPORT_H_
+
+#include <string>
+
+#include "scenario/runner.h"
+
+namespace p3q {
+
+/// Renders the report as a JSON document (trailing newline included).
+std::string ScenarioReportToJson(const ScenarioReport& report,
+                                 bool include_timing = false);
+
+/// Renders the report as CSV: a header row, one row per phase and a final
+/// `total` row (trailing newline included).
+std::string ScenarioReportToCsv(const ScenarioReport& report,
+                                bool include_timing = false);
+
+/// Writes the JSON rendering to `path`; returns false on I/O failure.
+bool WriteScenarioReportJson(const ScenarioReport& report,
+                             const std::string& path,
+                             bool include_timing = false);
+
+/// Writes the CSV rendering to `path`; returns false on I/O failure.
+bool WriteScenarioReportCsv(const ScenarioReport& report,
+                            const std::string& path,
+                            bool include_timing = false);
+
+}  // namespace p3q
+
+#endif  // P3Q_SCENARIO_REPORT_H_

@@ -1,0 +1,267 @@
+#include "scenario/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/centralized_topk.h"
+#include "baseline/ideal_network.h"
+#include "core/p3q_system.h"
+#include "dataset/generator.h"
+#include "dataset/query_gen.h"
+#include "eval/metrics_eval.h"
+#include "eval/recall.h"
+
+namespace p3q {
+namespace {
+
+/// A query in flight plus the centralized reference captured at issue time.
+struct OpenQuery {
+  std::uint64_t id = 0;
+  std::vector<ItemId> reference;
+};
+
+/// Scales a phase-relative cycle offset so events keep their position when
+/// the whole timeline is stretched or compressed.
+std::uint64_t ScaleOffset(std::uint64_t at_cycle, double cycle_scale,
+                          std::uint64_t scaled_cycles) {
+  const auto scaled = static_cast<std::uint64_t>(
+      static_cast<double>(at_cycle) * cycle_scale);
+  return std::min(scaled, scaled_cycles - 1);
+}
+
+/// Issues one query from a uniformly random online user with a non-empty
+/// profile; returns false when no attempt produced a usable query.
+bool TryIssueQuery(P3QSystem* system, const Dataset& dataset,
+                   const std::vector<UserId>& online, Rng* workload_rng,
+                   std::vector<OpenQuery>* open) {
+  if (online.empty()) return false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const UserId u = online[workload_rng->NextUint64(online.size())];
+    QuerySpec spec = GenerateQueryForUser(dataset, u, workload_rng);
+    if (spec.tags.empty()) continue;
+    OpenQuery q;
+    q.reference = ReferenceTopK(*system, spec, system->config().top_k);
+    q.id = system->IssueQuery(spec);
+    open->push_back(std::move(q));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioReport RunScenario(const Scenario& scenario,
+                           const ScenarioRunnerOptions& options) {
+  if (const std::string problem = scenario.Validate(); !problem.empty()) {
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "': " + problem);
+  }
+  if (options.users < 1) {
+    throw std::invalid_argument("ScenarioRunnerOptions: users must be >= 1");
+  }
+  if (!(options.cycle_scale > 0)) {
+    throw std::invalid_argument(
+        "ScenarioRunnerOptions: cycle_scale must be > 0");
+  }
+
+  const SyntheticTrace trace = GenerateSyntheticTrace(
+      SyntheticConfig::DeliciousLike(options.users), options.seed);
+  const Dataset& dataset = trace.dataset();
+
+  P3QConfig config;
+  config.network_size = options.network_size > 0
+                            ? options.network_size
+                            : std::max(10, options.users / 10);
+  config.stored_profiles =
+      std::min(options.stored_profiles, config.network_size);
+  config.alpha = options.alpha;
+  config.top_k = options.top_k;
+  if (const std::string problem = config.Validate(); !problem.empty()) {
+    throw std::invalid_argument("ScenarioRunnerOptions: " + problem);
+  }
+
+  P3QSystem system(dataset, config, /*per_user_storage=*/{}, options.seed);
+  system.BootstrapRandomViews();
+  // Workload randomness (querier choice, duty sampling, update batches) is
+  // forked off the master seed, decorrelated from the system's own stream.
+  Rng workload_rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+
+  ScenarioReport report;
+  report.scenario = scenario.name;
+  report.description = scenario.description;
+  report.seed = options.seed;
+  report.users = dataset.NumUsers();
+  report.network_size = config.network_size;
+  report.stored_profiles = config.stored_profiles;
+  report.top_k = config.top_k;
+  report.alpha = config.alpha;
+
+  // The ideal networks the success ratio compares against; recomputed only
+  // when an update storm changed the profiles.
+  IdealNetworks ideal;
+  bool ideal_dirty = true;
+
+  for (const ScenarioPhase& phase : scenario.phases) {
+    const std::uint64_t cycles = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               static_cast<double>(phase.cycles) * options.cycle_scale)));
+
+    PhaseReport pr;
+    pr.name = phase.name;
+    pr.mode = PhaseModeName(phase.mode);
+    pr.cycles = cycles;
+
+    std::vector<OpenQuery> open;
+    const Metrics before = system.metrics().Snapshot();
+    double online_cycle_sum = 0;  // Σ over cycles of online users (work rate)
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+      // 1. Scheduled events.
+      for (const ScenarioEvent& event : phase.events) {
+        if (ScaleOffset(event.at_cycle, options.cycle_scale, cycles) != cycle) {
+          continue;
+        }
+        switch (event.kind) {
+          case EventKind::kDeparture:
+            pr.departures += system.FailRandomFraction(event.fraction).size();
+            break;
+          case EventKind::kRejoin:
+            pr.rejoins += system.RejoinRandomFraction(event.fraction).size();
+            break;
+          case EventKind::kQueryBurst: {
+            const std::vector<UserId> online = system.network().OnlineUsers();
+            for (int i = 0; i < event.count; ++i) {
+              if (TryIssueQuery(&system, dataset, online, &workload_rng,
+                                &open)) {
+                ++pr.queries_issued;
+              }
+            }
+            break;
+          }
+          case EventKind::kUpdateStorm: {
+            const UpdateBatch batch =
+                trace.MakeUpdateBatch(event.update, &workload_rng);
+            system.ApplyUpdateBatch(batch);
+            ideal_dirty = true;
+            break;
+          }
+        }
+      }
+
+      // 2. Duty-cycle liveness: depart/rejoin users to track the target
+      // online fraction.
+      if (phase.duty) {
+        const double target =
+            std::clamp(phase.duty(cycle, cycles), 0.0, 1.0);
+        const auto target_online = static_cast<std::size_t>(std::llround(
+            target * static_cast<double>(system.NumUsers())));
+        const std::size_t current = system.network().NumOnline();
+        if (current > target_online) {
+          const std::vector<UserId> leaving =
+              workload_rng.SampleWithoutReplacement(
+                  system.network().OnlineUsers(), current - target_online);
+          for (UserId u : leaving) system.FailUser(u);
+          pr.departures += leaving.size();
+        } else if (current < target_online) {
+          std::vector<UserId> back = workload_rng.SampleWithoutReplacement(
+              system.network().OfflineUsers(), target_online - current);
+          std::sort(back.begin(), back.end());
+          for (UserId u : back) system.RejoinUser(u);
+          pr.rejoins += back.size();
+        }
+      }
+
+      // 3. Background query workload.
+      if (phase.queries_per_cycle > 0) {
+        const std::vector<UserId> online = system.network().OnlineUsers();
+        for (int i = 0; i < phase.queries_per_cycle; ++i) {
+          if (TryIssueQuery(&system, dataset, online, &workload_rng, &open)) {
+            ++pr.queries_issued;
+          }
+        }
+      }
+
+      // 4. Protocol cycles.
+      online_cycle_sum += static_cast<double>(system.network().NumOnline());
+      switch (phase.mode) {
+        case PhaseMode::kLazy:
+          system.RunLazyCycles(1);
+          break;
+        case PhaseMode::kEager:
+          system.RunEagerCycles(1);
+          break;
+        case PhaseMode::kMixed:
+          system.RunLazyCycles(1);
+          system.RunEagerCycles(1);
+          break;
+      }
+    }
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    // Phase boundary: sample every query issued during the phase against
+    // its centralized reference, then release it.
+    double recall_sum = 0, coverage_sum = 0;
+    for (const OpenQuery& q : open) {
+      const ActiveQuery& query = system.query(q.id);
+      recall_sum += RecallAtK(query.CurrentTopKItems(), q.reference);
+      coverage_sum +=
+          query.expected_profiles() == 0
+              ? 1.0
+              : std::min(1.0, static_cast<double>(query.NumUsedProfiles()) /
+                                  static_cast<double>(
+                                      query.expected_profiles()));
+      if (system.QueryComplete(q.id)) ++pr.queries_completed;
+      system.ForgetQuery(q.id);
+    }
+    if (pr.queries_issued > 0) {
+      pr.avg_recall = recall_sum / pr.queries_issued;
+      pr.avg_coverage = coverage_sum / pr.queries_issued;
+    }
+
+    if (ideal_dirty) {
+      ideal = ComputeIdealNetworks(system.profile_store(), config.network_size,
+                                   config.similarity);
+      ideal_dirty = false;
+    }
+    pr.success_ratio = AverageSuccessRatio(system, ideal);
+    pr.online_at_end = system.network().NumOnline();
+    pr.traffic = system.metrics().Since(before);
+
+    pr.timing.wall_seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    if (pr.timing.wall_seconds > 0) {
+      pr.timing.cycles_per_sec =
+          static_cast<double>(cycles) / pr.timing.wall_seconds;
+      pr.timing.user_cycles_per_sec =
+          online_cycle_sum / pr.timing.wall_seconds;
+    }
+
+    report.total_cycles += pr.cycles;
+    report.total_departures += pr.departures;
+    report.total_rejoins += pr.rejoins;
+    report.total_queries_issued += pr.queries_issued;
+    report.total_queries_completed += pr.queries_completed;
+    report.total_timing.wall_seconds += pr.timing.wall_seconds;
+    report.phases.push_back(std::move(pr));
+  }
+
+  report.total_traffic = system.metrics().Snapshot();
+  if (report.total_timing.wall_seconds > 0) {
+    double online_weighted = 0;
+    for (const PhaseReport& pr : report.phases) {
+      online_weighted += pr.timing.user_cycles_per_sec * pr.timing.wall_seconds;
+    }
+    report.total_timing.cycles_per_sec =
+        static_cast<double>(report.total_cycles) /
+        report.total_timing.wall_seconds;
+    report.total_timing.user_cycles_per_sec =
+        online_weighted / report.total_timing.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace p3q

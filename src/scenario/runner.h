@@ -1,0 +1,101 @@
+// Drives a P3QSystem through a scenario timeline and reports what happened.
+//
+// The runner owns the whole experiment: it generates the synthetic trace,
+// builds the system, then walks the timeline cycle by cycle — firing events,
+// tracking the duty cycle by departing/rejoining users, issuing the query
+// workload — and closes every phase with a structured PhaseReport: traffic
+// deltas per MessageType (Metrics::Since), recall/coverage sampled against
+// the centralized baseline, liveness churn totals and wall-clock throughput.
+// Reports serialize to JSON/CSV via report.h. Everything except the wall
+// clock is deterministic in (scenario, options): two runs with the same
+// seed produce identical reports.
+#ifndef P3Q_SCENARIO_RUNNER_H_
+#define P3Q_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "sim/metrics.h"
+
+namespace p3q {
+
+/// Scale and protocol knobs for one scenario run.
+struct ScenarioRunnerOptions {
+  /// Population size of the generated delicious-like trace.
+  int users = 400;
+  /// Master seed: trace, system and workload randomness all derive from it.
+  std::uint64_t seed = 1;
+  /// Multiplies every phase's cycle budget (each phase keeps >= 1 cycle);
+  /// lets smoke tests run full timelines in milliseconds.
+  double cycle_scale = 1.0;
+  /// Personal network size s; <= 0 means max(10, users / 10).
+  int network_size = 0;
+  /// Stored profiles per user (clamped to the network size).
+  int stored_profiles = 10;
+  /// Remaining-list split parameter.
+  double alpha = 0.5;
+  /// Top-k size.
+  int top_k = 10;
+};
+
+/// Wall-clock throughput of a phase (the only non-deterministic part of a
+/// report; serialization excludes it unless asked).
+struct PhaseTiming {
+  double wall_seconds = 0;
+  double cycles_per_sec = 0;
+  double user_cycles_per_sec = 0;  ///< cycles/sec × online users (work rate)
+};
+
+/// Everything measured over one phase.
+struct PhaseReport {
+  std::string name;
+  std::string mode;
+  std::uint64_t cycles = 0;
+  std::size_t online_at_end = 0;
+  std::size_t departures = 0;  ///< users taken offline during the phase
+  std::size_t rejoins = 0;     ///< users brought back during the phase
+  int queries_issued = 0;
+  int queries_completed = 0;
+  /// Mean recall@k vs the centralized reference over the phase's queries,
+  /// sampled at the phase boundary; -1 when the phase issued no queries.
+  double avg_recall = -1;
+  /// Mean fraction of the querier's personal network reached by gossip.
+  double avg_coverage = 0;
+  /// Convergence vs the ideal networks at the phase end (Figure 2 metric).
+  double success_ratio = 0;
+  /// Traffic of this phase only, per MessageType.
+  Metrics traffic;
+  PhaseTiming timing;
+};
+
+/// The structured output of one scenario run.
+struct ScenarioReport {
+  std::string scenario;
+  std::string description;
+  std::uint64_t seed = 0;
+  std::size_t users = 0;
+  int network_size = 0;
+  int stored_profiles = 0;
+  int top_k = 0;
+  double alpha = 0;
+  std::vector<PhaseReport> phases;
+
+  std::uint64_t total_cycles = 0;
+  std::size_t total_departures = 0;
+  std::size_t total_rejoins = 0;
+  int total_queries_issued = 0;
+  int total_queries_completed = 0;
+  Metrics total_traffic;
+  PhaseTiming total_timing;
+};
+
+/// Runs the scenario at the given scale. Throws std::invalid_argument when
+/// the scenario fails Validate() or the options are out of range.
+ScenarioReport RunScenario(const Scenario& scenario,
+                           const ScenarioRunnerOptions& options);
+
+}  // namespace p3q
+
+#endif  // P3Q_SCENARIO_RUNNER_H_

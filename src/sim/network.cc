@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 namespace p3q {
 
 Network::Network(std::size_t num_users)
@@ -15,11 +17,27 @@ void Network::SetOnline(UserId user, bool online) {
   }
 }
 
-std::vector<UserId> Network::FailRandomFraction(double fraction, Rng* rng) {
-  std::vector<UserId> alive;
+std::vector<UserId> Network::OnlineUsers() const {
+  std::vector<UserId> out;
+  out.reserve(num_online_);
   for (UserId u = 0; u < static_cast<UserId>(online_.size()); ++u) {
-    if (online_[u]) alive.push_back(u);
+    if (online_[u]) out.push_back(u);
   }
+  return out;
+}
+
+std::vector<UserId> Network::OfflineUsers() const {
+  std::vector<UserId> out;
+  out.reserve(online_.size() - num_online_);
+  for (UserId u = 0; u < static_cast<UserId>(online_.size()); ++u) {
+    if (!online_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<UserId> Network::FailRandomFraction(double fraction, Rng* rng) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const std::vector<UserId> alive = OnlineUsers();
   const std::size_t num_leaving =
       static_cast<std::size_t>(static_cast<double>(alive.size()) * fraction);
   std::vector<UserId> leaving = rng->SampleWithoutReplacement(alive, num_leaving);

@@ -34,9 +34,15 @@ class Network {
   /// Number of currently-online users.
   std::size_t NumOnline() const { return num_online_; }
 
+  /// Ids of all currently-online users, ascending.
+  std::vector<UserId> OnlineUsers() const;
+
+  /// Ids of all currently-offline users, ascending.
+  std::vector<UserId> OfflineUsers() const;
+
   /// Takes a uniformly random `fraction` of currently-online users offline
-  /// simultaneously (the paper's massive-departure scenario). Returns the
-  /// users that left.
+  /// simultaneously (the paper's massive-departure scenario). `fraction` is
+  /// clamped to [0, 1]. Returns the users that left.
   std::vector<UserId> FailRandomFraction(double fraction, Rng* rng);
 
   /// Records a message on the wire.

@@ -1,0 +1,143 @@
+// Smoke-runs every registered scenario at tiny scale under ctest.
+//
+// The parameterized suite enumerates ScenarioRegistry at runtime (the same
+// generated-list idea as bench_smoke_test: the test list is derived from the
+// registry itself, so a newly registered scenario is smoke-tested
+// automatically and the suite cannot drift). A second suite drives the
+// p3q_sim CLI end to end: `--scenario=diurnal --json=...` must run a
+// multi-phase timeline with departures and rejoins and produce byte-identical
+// JSON reports across two equal-seed runs (the PR's acceptance criterion).
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+
+#ifndef P3Q_BIN_DIR
+#error "P3Q_BIN_DIR must be defined by the build"
+#endif
+
+namespace p3q {
+namespace {
+
+class ScenarioSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSmoke, RunsCleanAtTinyScale) {
+  ScenarioRunnerOptions options;
+  options.users = 60;
+  options.seed = 17;
+  options.cycle_scale = 0.15;
+
+  const Scenario scenario = MakeScenario(GetParam());
+  const ScenarioReport report = RunScenario(scenario, options);
+
+  ASSERT_EQ(report.phases.size(), scenario.phases.size());
+  EXPECT_EQ(report.scenario, scenario.name);
+  EXPECT_EQ(report.users, 60u);
+  EXPECT_GT(report.total_cycles, 0u);
+  EXPECT_GT(report.total_traffic.TotalMessages(), 0u);
+  for (const PhaseReport& p : report.phases) {
+    EXPECT_GE(p.cycles, 1u);
+    EXPECT_LE(p.online_at_end, report.users);
+    EXPECT_GE(p.success_ratio, 0.0);
+    EXPECT_LE(p.success_ratio, 1.0);
+    if (p.queries_issued > 0) {
+      EXPECT_GE(p.avg_recall, 0.0);
+      EXPECT_LE(p.avg_recall, 1.0);
+      EXPECT_LE(p.avg_coverage, 1.0);
+    }
+  }
+  // Both emitters must serialize every scenario without tripping.
+  EXPECT_FALSE(ScenarioReportToJson(report).empty());
+  EXPECT_FALSE(ScenarioReportToCsv(report).empty());
+}
+
+std::string SanitizeName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '-') c = '_';
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ScenarioSmoke, ::testing::ValuesIn(RegisteredScenarioNames()),
+    [](const auto& info) { return SanitizeName(info.param); });
+
+// ---------------------------------------------------------------------------
+// p3q_sim CLI end to end.
+// ---------------------------------------------------------------------------
+
+int RunCli(const std::string& args) {
+  // Quote the binary path: the build dir may contain spaces.
+  const std::string cmd = "\"" + std::string(P3Q_BIN_DIR) + "/p3q_sim\" " +
+                          args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  EXPECT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status)) << cmd << " killed by signal";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(P3qSimScenarioCli, ListScenariosExitsCleanly) {
+  EXPECT_EQ(RunCli("--list-scenarios"), 0);
+}
+
+TEST(P3qSimScenarioCli, UnknownScenarioFails) {
+  EXPECT_NE(RunCli("--scenario=no-such-scenario"), 0);
+}
+
+TEST(P3qSimScenarioCli, DiurnalJsonReportIsCompleteAndDeterministic) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/p3q_diurnal_a.json";
+  const std::string path_b = dir + "/p3q_diurnal_b.json";
+  const std::string args =
+      "--scenario=diurnal --users=80 --cycle-scale=0.25 --seed=5 --json=";
+  ASSERT_EQ(RunCli(args + "\"" + path_a + "\""), 0);
+  ASSERT_EQ(RunCli(args + "\"" + path_b + "\""), 0);
+
+  const std::string json = ReadFileOrEmpty(path_a);
+  ASSERT_FALSE(json.empty());
+  // Multi-phase timeline with both departures and rejoins...
+  EXPECT_NE(json.find("\"scenario\": \"diurnal\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"day-night-day\""), std::string::npos);
+  const std::size_t totals = json.find("\"totals\"");
+  ASSERT_NE(totals, std::string::npos);
+  auto totals_value = [&](const std::string& key) {
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t at = json.find(needle, totals);
+    EXPECT_NE(at, std::string::npos) << key;
+    return at == std::string::npos
+               ? -1L
+               : std::atol(json.c_str() + at + needle.size());
+  };
+  EXPECT_GT(totals_value("departures"), 0);
+  EXPECT_GT(totals_value("rejoins"), 0);
+  // ... with per-MessageType traffic, recall and (deterministic) reports.
+  EXPECT_NE(json.find("\"random_view_gossip\""), std::string::npos);
+  EXPECT_NE(json.find("\"eager_query_forward\""), std::string::npos);
+  EXPECT_NE(json.find("\"avg_recall\""), std::string::npos);
+  EXPECT_EQ(json, ReadFileOrEmpty(path_b))
+      << "two equal-seed runs must produce byte-identical reports";
+
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace p3q

@@ -7,6 +7,12 @@
 //   p3q_sim --users=2000 --c=10 --lazy-cycles=150 --queries=50
 //   p3q_sim --users=800 --lambda=1 --departure=0.5 --queries=100
 //   p3q_sim --trace=delicious.tsv --s=1000 --c=20 --alpha=0.3
+//
+// Declarative timeline-driven workloads (the scenario engine):
+//
+//   p3q_sim --list-scenarios
+//   p3q_sim --scenario=diurnal --users=600 --json=out.json
+//   p3q_sim --scenario=mixed-stress --cycle-scale=0.5 --csv=out.csv --timing
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -23,6 +29,9 @@
 #include "dataset/trace_loader.h"
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
+#include "scenario/registry.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
 
 namespace {
 
@@ -41,6 +50,13 @@ struct Options {
   std::uint64_t seed = 1;
   std::string trace_path;
   bool help = false;
+  // Scenario engine.
+  std::string scenario;
+  bool list_scenarios = false;
+  double cycle_scale = 1.0;
+  std::string json_path;
+  std::string csv_path;
+  bool timing = false;
 };
 
 void PrintUsage() {
@@ -58,7 +74,18 @@ void PrintUsage() {
       "  --queries=N        number of queries to run (50)\n"
       "  --departure=X      fraction of users leaving before queries (0)\n"
       "  --updates          apply a profile-update batch before queries\n"
-      "  --seed=N           master seed (1)\n";
+      "  --seed=N           master seed (1)\n"
+      "\nScenario engine (timeline-driven workloads):\n"
+      "  --list-scenarios   print the built-in scenarios and exit\n"
+      "  --scenario=NAME    run a named scenario timeline instead of the\n"
+      "                     classic pipeline (honours --users, --seed, --s,\n"
+      "                     --c, --alpha, --k)\n"
+      "  --cycle-scale=X    stretch/compress every phase's cycle budget (1.0)\n"
+      "  --json=PATH        write the structured scenario report as JSON\n"
+      "  --csv=PATH         write the scenario report as CSV\n"
+      "  --timing           include wall-clock throughput in JSON/CSV\n"
+      "                     reports (off by default so reports from equal\n"
+      "                     seeds are byte-identical)\n";
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -107,6 +134,18 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.apply_updates = true;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--scenario", &value)) {
+      opt.scenario = value;
+    } else if (ParseFlag(argv[i], "--list-scenarios", &value)) {
+      opt.list_scenarios = true;
+    } else if (ParseFlag(argv[i], "--cycle-scale", &value)) {
+      opt.cycle_scale = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--json", &value)) {
+      opt.json_path = value;
+    } else if (ParseFlag(argv[i], "--csv", &value)) {
+      opt.csv_path = value;
+    } else if (ParseFlag(argv[i], "--timing", &value)) {
+      opt.timing = true;
     } else {
       std::cerr << "unknown flag: " << argv[i] << "\n";
       return std::nullopt;
@@ -120,7 +159,95 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     std::cerr << "--lazy-cycles, --eager-cycles and --queries must be >= 0\n";
     return std::nullopt;
   }
+  if (!(opt.cycle_scale > 0)) {
+    std::cerr << "--cycle-scale must be > 0\n";
+    return std::nullopt;
+  }
+  if (!opt.scenario.empty() && !p3q::HasScenario(opt.scenario)) {
+    std::cerr << "unknown scenario: " << opt.scenario
+              << " (see --list-scenarios)\n";
+    return std::nullopt;
+  }
+  if (!opt.scenario.empty() && !opt.trace_path.empty()) {
+    std::cerr << "--scenario runs on a synthetic trace; --trace is not "
+                 "supported in scenario mode\n";
+    return std::nullopt;
+  }
   return opt;
+}
+
+/// Runs a named scenario timeline and prints/writes its report.
+int RunScenarioMode(const Options& opt) {
+  using namespace p3q;
+  ScenarioRunnerOptions options;
+  options.users = opt.users;
+  options.seed = opt.seed;
+  options.cycle_scale = opt.cycle_scale;
+  options.network_size = opt.network_size;  // <= 0 => users/10 default
+  options.stored_profiles = opt.stored;
+  options.alpha = opt.alpha;
+  options.top_k = opt.top_k;
+
+  const Scenario scenario = MakeScenario(opt.scenario);
+  std::cout << "scenario: " << scenario.name << " — " << scenario.description
+            << "\nusers: " << opt.users << ", seed: " << opt.seed
+            << ", cycle scale: " << opt.cycle_scale << "\n\n";
+  ScenarioReport report;
+  try {
+    report = RunScenario(scenario, options);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "invalid configuration: " << e.what() << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"phase", "mode", "cycles", "online", "dep", "rejoin",
+                      "queries", "recall", "coverage", "success", "MiB",
+                      "cyc/s"});
+  for (const PhaseReport& p : report.phases) {
+    table.AddRow({p.name, p.mode, TablePrinter::Fmt(p.cycles),
+                  TablePrinter::Fmt(p.online_at_end),
+                  TablePrinter::Fmt(p.departures),
+                  TablePrinter::Fmt(p.rejoins),
+                  TablePrinter::Fmt(p.queries_issued),
+                  TablePrinter::Fmt(p.avg_recall),
+                  TablePrinter::Fmt(p.avg_coverage),
+                  TablePrinter::Fmt(p.success_ratio),
+                  TablePrinter::Fmt(
+                      p.traffic.TotalBytes() / 1024.0 / 1024.0, 2),
+                  TablePrinter::Fmt(p.timing.cycles_per_sec, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\ntotals: " << report.total_cycles << " cycles, "
+            << report.total_queries_issued << " queries ("
+            << report.total_queries_completed << " completed), "
+            << report.total_departures << " departures, "
+            << report.total_rejoins << " rejoins, "
+            << report.total_traffic.TotalBytes() / 1024.0 / 1024.0
+            << " MiB\nthroughput: "
+            << TablePrinter::Fmt(report.total_timing.cycles_per_sec, 1)
+            << " cycles/s, "
+            << TablePrinter::Fmt(report.total_timing.user_cycles_per_sec, 1)
+            << " user-cycles/s (wall "
+            << TablePrinter::Fmt(report.total_timing.wall_seconds, 3)
+            << " s)\n";
+
+  if (!opt.json_path.empty() &&
+      !WriteScenarioReportJson(report, opt.json_path, opt.timing)) {
+    std::cerr << "cannot write JSON report: " << opt.json_path << "\n";
+    return 1;
+  }
+  if (!opt.csv_path.empty() &&
+      !WriteScenarioReportCsv(report, opt.csv_path, opt.timing)) {
+    std::cerr << "cannot write CSV report: " << opt.csv_path << "\n";
+    return 1;
+  }
+  if (!opt.json_path.empty()) {
+    std::cout << "JSON report: " << opt.json_path << "\n";
+  }
+  if (!opt.csv_path.empty()) {
+    std::cout << "CSV report: " << opt.csv_path << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -135,6 +262,15 @@ int main(int argc, char** argv) {
   if (opt.help) {
     PrintUsage();
     return 0;
+  }
+  if (opt.list_scenarios) {
+    for (const std::string& name : p3q::RegisteredScenarioNames()) {
+      std::cout << name << "\t" << p3q::ScenarioDescription(name) << "\n";
+    }
+    return 0;
+  }
+  if (!opt.scenario.empty()) {
+    return RunScenarioMode(opt);
   }
 
   using namespace p3q;
