@@ -4,7 +4,6 @@
 #include <cmath>
 #include <unordered_map>
 
-#include "core/lazy_protocol.h"
 #include "core/p3q_system.h"
 
 namespace p3q {
@@ -18,6 +17,9 @@ std::size_t ForwardBytes(const EagerTask& task) {
 }
 
 }  // namespace
+
+EagerProtocol::EagerProtocol(P3QSystem* system)
+    : system_(system), plans_(system->NumUsers()) {}
 
 PartialResultMessage EagerProtocol::BuildPartialResult(
     const std::vector<ProfilePtr>& profiles, const std::vector<UserId>& owners,
@@ -68,7 +70,6 @@ std::uint64_t EagerProtocol::IssueQuery(const QuerySpec& spec) {
     task.tags = spec.tags;
     task.remaining = std::move(remaining);
     querier.tasks().emplace(id, std::move(task));
-    engaged_.insert(spec.querier);
     state.active_tasks = 1;
   }
   state.query->EndOfCycle(complete);  // cycle-0 snapshot (local result)
@@ -77,8 +78,8 @@ std::uint64_t EagerProtocol::IssueQuery(const QuerySpec& spec) {
   return id;
 }
 
-UserId EagerProtocol::SelectDestination(P3QNode* initiator,
-                                        const EagerTask& task) {
+UserId EagerProtocol::SelectDestination(const P3QNode* initiator,
+                                        const EagerTask& task, Rng* rng) {
   const Network& net = system_->network();
   // Remaining-list members that are personal-network neighbours, by
   // descending timestamp (Algorithm 3 line 5), then the rest in random
@@ -103,7 +104,7 @@ UserId EagerProtocol::SelectDestination(P3QNode* initiator,
               if (a.timestamp != b.timestamp) return a.timestamp > b.timestamp;
               return a.user < b.user;
             });
-  initiator->rng().Shuffle(&others);
+  rng->Shuffle(&others);
 
   int attempts_left = system_->config().offline_retry + 1;
   for (const Scored& s : neighbours) {
@@ -117,30 +118,24 @@ UserId EagerProtocol::SelectDestination(P3QNode* initiator,
   return kInvalidUser;
 }
 
-void EagerProtocol::GossipOnce(P3QNode* initiator, EagerTask* task) {
-  QueryState& state = state_.at(task->query_id);
-  Network& net = system_->network();
-
-  const UserId dest_id = SelectDestination(initiator, *task);
+void EagerProtocol::PlanGossip(const P3QNode* node, const EagerTask& task,
+                               const PlanContext& ctx, NodePlan* plan) {
+  const UserId dest_id = SelectDestination(node, task, ctx.rng);
   if (dest_id == kInvalidUser) return;  // every candidate offline: stall
-  P3QNode* dest = &system_->node(dest_id);
-  participants_.insert(initiator->id());
-  participants_.insert(dest_id);
+  const P3QNode* dest = &system_->node(dest_id);
 
-  // Forward Q and the remaining list.
-  const std::size_t fwd = ForwardBytes(*task);
-  net.RecordMessage(MessageType::kEagerQueryForward, fwd);
-  state.query->traffic().forwarded_list_bytes += fwd;
-  state.query->traffic().forward_messages += 1;
-  state.reached.insert(dest_id);
-  engaged_.insert(dest_id);
+  PlannedGossip g;
+  g.query_id = task.query_id;
+  g.dest = dest_id;
+  g.consumed = task.remaining.size();
+  g.fwd_bytes = ForwardBytes(task);
 
-  // Destination prunes the list with the profiles she can serve
+  // Destination prunes the list with the (frozen) profiles she can serve
   // (Algorithm 3 line 18) and processes her share of the query.
   std::vector<UserId> found_owners;
   std::vector<ProfilePtr> found_profiles;
   std::vector<UserId> rest;
-  for (UserId w : task->remaining) {
+  for (UserId w : task.remaining) {
     ProfilePtr p = dest->FindUsableProfile(w);
     if (p != nullptr) {
       found_owners.push_back(w);
@@ -150,83 +145,149 @@ void EagerProtocol::GossipOnce(P3QNode* initiator, EagerTask* task) {
     }
   }
   if (!found_owners.empty()) {
-    PartialResultMessage message =
-        BuildPartialResult(found_profiles, found_owners, task->tags);
-    const std::size_t bytes = message.WireBytes();
-    net.RecordMessage(MessageType::kPartialResult, bytes);
-    state.query->traffic().partial_result_bytes += bytes;
-    state.query->traffic().partial_result_messages += 1;
-    state.query->DeliverPartialResult(std::move(message));
+    g.partial = BuildPartialResult(found_profiles, found_owners, task.tags);
+    g.has_partial = true;
   }
 
   // Split the pruned list: α back to the initiator, 1-α kept by the
   // destination as her own task (Algorithm 3 lines 19-21).
-  dest->rng().Shuffle(&rest);
+  ctx.rng->Shuffle(&rest);
   const std::size_t n_returned = static_cast<std::size_t>(
       std::llround(system_->config().alpha * static_cast<double>(rest.size())));
-  std::vector<UserId> returned(rest.begin(),
-                               rest.begin() + static_cast<std::ptrdiff_t>(
-                                                  n_returned));
-  std::vector<UserId> kept(rest.begin() + static_cast<std::ptrdiff_t>(n_returned),
-                           rest.end());
-  if (!kept.empty()) {
-    auto [it, created] = dest->tasks().try_emplace(task->query_id);
+  g.returned.assign(rest.begin(),
+                    rest.begin() + static_cast<std::ptrdiff_t>(n_returned));
+  g.kept.assign(rest.begin() + static_cast<std::ptrdiff_t>(n_returned),
+                rest.end());
+
+  // The piggybacked lazy-style maintenance (Algorithm 3 lines 6, 12, 24):
+  // planned here (the expensive screening), committed with the gossip.
+  g.exchange =
+      LazyProtocol::PlanProfileExchange(system_, node->id(), dest_id, ctx.rng,
+                                        &system_->network().ShardTraffic(
+                                            ctx.shard));
+  plan->gossips.push_back(std::move(g));
+}
+
+void EagerProtocol::BeginCycle(std::uint64_t /*cycle*/) {
+  participants_.clear();
+}
+
+bool EagerProtocol::ActiveInCycle(UserId node) const {
+  // Read-only probe, safe from plan threads; a task can appear on a node
+  // only through a commit (sequential), never mid-plan, and only the
+  // node's own commit removes one — so the answer cannot flip to false
+  // between a node's plan and its commit.
+  return !system_->node(node).tasks().empty();
+}
+
+void EagerProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
+  NodePlan& plan = plans_[node_id];
+  plan = NodePlan{};
+  const P3QNode& node = system_->node(node_id);
+  if (node.tasks().empty()) return;
+  plan.active = true;
+
+  // Every non-empty task this node holds gossips once per cycle, in
+  // query-id order (tasks created during this cycle act from the next one).
+  std::vector<std::uint64_t> qids;
+  qids.reserve(node.tasks().size());
+  for (const auto& [qid, task] : node.tasks()) {
+    if (!task.remaining.empty()) qids.push_back(qid);
+  }
+  std::sort(qids.begin(), qids.end());
+  for (const std::uint64_t qid : qids) {
+    PlanGossip(&node, node.tasks().at(qid), ctx, &plan);
+  }
+}
+
+void EagerProtocol::EndPlan(std::uint64_t /*cycle*/) {
+  system_->network().MergeShardTraffic();
+}
+
+void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
+  Network& net = system_->network();
+  auto it = node->tasks().find(g->query_id);
+  if (it == node->tasks().end()) return;
+  EagerTask& task = it->second;
+  QueryState& state = state_.at(g->query_id);
+
+  participants_.insert(node->id());
+  participants_.insert(g->dest);
+
+  // Forward Q and the remaining list.
+  net.RecordMessage(MessageType::kEagerQueryForward, g->fwd_bytes);
+  state.query->traffic().forwarded_list_bytes += g->fwd_bytes;
+  state.query->traffic().forward_messages += 1;
+  state.reached.insert(g->dest);
+
+  // The destination's share of the query.
+  if (g->has_partial) {
+    const std::size_t bytes = g->partial.WireBytes();
+    net.RecordMessage(MessageType::kPartialResult, bytes);
+    state.query->traffic().partial_result_bytes += bytes;
+    state.query->traffic().partial_result_messages += 1;
+    state.query->DeliverPartialResult(std::move(g->partial));
+  }
+
+  // The kept portion becomes (or extends) the destination's task.
+  if (!g->kept.empty()) {
+    P3QNode& dest = system_->node(g->dest);
+    auto [dit, created] = dest.tasks().try_emplace(g->query_id);
     if (created) {
-      it->second.query_id = task->query_id;
-      it->second.querier = task->querier;
-      it->second.tags = task->tags;
+      dit->second.query_id = g->query_id;
+      dit->second.querier = task.querier;
+      dit->second.tags = task.tags;
       ++state.active_tasks;
     }
-    it->second.remaining.insert(it->second.remaining.end(), kept.begin(),
-                                kept.end());
+    dit->second.remaining.insert(dit->second.remaining.end(), g->kept.begin(),
+                                 g->kept.end());
   }
-  const std::size_t ret_bytes = returned.size() * kBytesPerUserId + kBytesPerUserId;
+
+  // The returned portion replaces the consumed entries of this node's task.
+  // Entries other commits appended after planning are preserved — only
+  // appends can have happened, so they form the tail past `consumed`.
+  const std::size_t ret_bytes =
+      g->returned.size() * kBytesPerUserId + kBytesPerUserId;
   net.RecordMessage(MessageType::kEagerQueryReturn, ret_bytes);
   state.query->traffic().returned_list_bytes += ret_bytes;
   state.query->traffic().return_messages += 1;
-  task->remaining = std::move(returned);
+  std::vector<UserId> merged = std::move(g->returned);
+  merged.insert(merged.end(),
+                task.remaining.begin() +
+                    static_cast<std::ptrdiff_t>(g->consumed),
+                task.remaining.end());
+  task.remaining = std::move(merged);
 
   // Timestamps and the piggybacked lazy-style maintenance (Algorithm 3
   // lines 6, 12, 24).
-  initiator->network().ResetTimestamp(dest_id);
-  dest->network().ResetTimestamp(initiator->id());
-  LazyProtocol::RunProfileExchange(system_, initiator->id(), dest_id);
+  node->network().ResetTimestamp(g->dest);
+  system_->node(g->dest).network().ResetTimestamp(node->id());
+  LazyProtocol::CommitProfileExchange(system_, g->exchange);
+
+  if (task.remaining.empty()) {
+    node->tasks().erase(it);
+    --state.active_tasks;
+  }
 }
 
-void EagerProtocol::RunCycle() {
-  // Snapshot of this cycle's initiators: every engaged node with a
-  // non-empty remaining list. Tasks created during the cycle (list portions
-  // kept by destinations) act from the next cycle on.
-  std::vector<std::pair<UserId, std::uint64_t>> initiators;
-  for (UserId u : engaged_) {
-    if (!system_->network().IsOnline(u)) continue;  // departed mid-query
-    for (const auto& [qid, task] : system_->node(u).tasks()) {
-      if (!task.remaining.empty()) initiators.emplace_back(u, qid);
-    }
-  }
-  std::sort(initiators.begin(), initiators.end());
-  system_->rng().Shuffle(&initiators);
+void EagerProtocol::CommitCycle(UserId node_id, std::uint64_t /*cycle*/,
+                                Rng* /*rng*/) {
+  NodePlan& plan = plans_[node_id];
+  if (!plan.active) return;
+  P3QNode* node = &system_->node(node_id);
+  for (PlannedGossip& g : plan.gossips) CommitGossip(node, &g);
+  plan = NodePlan{};  // release the buffered effects
+}
 
-  participants_.clear();
-  for (const auto& [u, qid] : initiators) {
-    P3QNode& node = system_->node(u);
-    auto it = node.tasks().find(qid);
-    if (it == node.tasks().end() || it->second.remaining.empty()) continue;
-    GossipOnce(&node, &it->second);
-    if (it->second.remaining.empty()) {
-      node.tasks().erase(it);
-      --state_.at(qid).active_tasks;
-    }
-  }
-
+void EagerProtocol::EndCycle(std::uint64_t /*cycle*/, Rng* rng) {
   // The "wave of refreshments": every user who took part in query gossip
   // this cycle also runs one lazy-style top-layer maintenance exchange at
   // the eager frequency ("maintain personal network as in lazy mode",
   // Algorithm 3 lines 12/24) — this is what makes the eager mode refresh
-  // the querier's neighbourhood so effectively (Figure 9).
+  // the querier's neighbourhood so effectively (Figure 9). Sequential, in
+  // ascending user order, off the cycle's dedicated stream.
   std::vector<UserId> wave(participants_.begin(), participants_.end());
   std::sort(wave.begin(), wave.end());
-  system_->rng().Shuffle(&wave);
   for (UserId u : wave) {
     if (!system_->network().IsOnline(u)) continue;
     P3QNode& node = system_->node(u);
@@ -234,7 +295,7 @@ void EagerProtocol::RunCycle() {
     if (partner == kInvalidUser || !system_->network().IsOnline(partner)) {
       continue;
     }
-    LazyProtocol::RunProfileExchange(system_, u, partner);
+    LazyProtocol::RunProfileExchange(system_, u, partner, rng);
     node.network().TouchGossiped(partner);
     system_->node(partner).network().ResetTimestamp(u);
   }

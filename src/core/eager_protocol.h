@@ -10,6 +10,16 @@
 // merges the asynchronously arriving partial lists with incremental NRA at
 // the end of each cycle. Each query gossip also piggybacks a lazy-mode
 // profile exchange, refreshing the personal networks along the way.
+//
+// Under the engine's plan/commit contract: PlanCycle (parallel) selects the
+// destination, prunes against the destination's frozen replicas, computes
+// the partial result (the expensive per-profile scoring) and splits the
+// list — all from the node's private forked stream; CommitCycle
+// (sequential, ascending node order) applies the task/traffic/query-state
+// effects, merge-aware so a list portion another commit appended to this
+// node's task in the same cycle is never lost. EndCycle runs the wave of
+// refreshments over this cycle's participants and closes the queriers'
+// cycle snapshots.
 #ifndef P3Q_CORE_EAGER_PROTOCOL_H_
 #define P3Q_CORE_EAGER_PROTOCOL_H_
 
@@ -19,25 +29,36 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/lazy_protocol.h"
 #include "core/p3q_node.h"
 #include "core/query.h"
+#include "sim/engine.h"
 
 namespace p3q {
 
 class P3QSystem;
 
-/// Query-processing protocol; one instance per system.
-class EagerProtocol {
+/// Query-processing protocol; one instance per system, driven by the
+/// eager cycle engine.
+class EagerProtocol : public CycleProtocol {
  public:
-  explicit EagerProtocol(P3QSystem* system) : system_(system) {}
+  explicit EagerProtocol(P3QSystem* system);
 
   /// Starts a query: local processing at the querier, remaining-list
-  /// construction, cycle-0 snapshot. Returns the query id.
+  /// construction, cycle-0 snapshot. Returns the query id. Sequential —
+  /// issue queries between cycles, never during one.
   std::uint64_t IssueQuery(const QuerySpec& spec);
 
-  /// Runs one eager cycle: every node holding a non-empty remaining list
-  /// initiates one gossip per query, then queriers refresh their top-k.
-  void RunCycle();
+  // -- CycleProtocol ---------------------------------------------------------
+  void BeginCycle(std::uint64_t cycle) override;
+  /// Only nodes holding query tasks do eager work; everyone else is
+  /// filtered out before the engine forks their streams, keeping query
+  /// cycles O(engaged nodes) on large, mostly-idle populations.
+  bool ActiveInCycle(UserId node) const override;
+  void PlanCycle(UserId node, const PlanContext& ctx) override;
+  void EndPlan(std::uint64_t cycle) override;
+  void CommitCycle(UserId node, std::uint64_t cycle, Rng* rng) override;
+  void EndCycle(std::uint64_t cycle, Rng* rng) override;
 
   ActiveQuery& query(std::uint64_t id) { return *state_.at(id).query; }
   const ActiveQuery& query(std::uint64_t id) const {
@@ -67,13 +88,40 @@ class EagerProtocol {
     bool finalized = false;   ///< completion snapshot already recorded
   };
 
+  /// One planned gossip of a task (Algorithm 3 both roles, decided against
+  /// frozen state).
+  struct PlannedGossip {
+    std::uint64_t query_id = 0;
+    UserId dest = kInvalidUser;
+    /// Entries of the task's remaining list consumed by this gossip; at
+    /// commit they are replaced by `returned` while entries appended to the
+    /// task after planning are preserved.
+    std::size_t consumed = 0;
+    std::size_t fwd_bytes = 0;
+    bool has_partial = false;
+    PartialResultMessage partial;
+    std::vector<UserId> returned;  ///< α portion, back to this node's task
+    std::vector<UserId> kept;      ///< 1-α portion, becomes the dest's task
+    ProfileExchangePlan exchange;  ///< piggybacked maintenance
+  };
+
+  struct NodePlan {
+    bool active = false;
+    std::vector<PlannedGossip> gossips;  ///< one per task, query-id order
+  };
+
   /// Algorithm 3 lines 4-9: remaining-list member that is also a
   /// personal-network neighbour with maximum timestamp, else a random
   /// remaining-list member; skips offline candidates (bounded retries).
-  UserId SelectDestination(P3QNode* initiator, const EagerTask& task);
+  UserId SelectDestination(const P3QNode* initiator, const EagerTask& task,
+                           Rng* rng);
 
-  /// One gossip of `task` from `initiator` (Algorithm 3 both roles).
-  void GossipOnce(P3QNode* initiator, EagerTask* task);
+  /// Plans one gossip of `task` from `node` (Algorithm 3 both roles).
+  void PlanGossip(const P3QNode* node, const EagerTask& task,
+                  const PlanContext& ctx, NodePlan* plan);
+
+  /// Applies one planned gossip at commit time.
+  void CommitGossip(P3QNode* node, PlannedGossip* gossip);
 
   /// Sums Score_{u,Q}(i) over the given profiles into a ranked list.
   static PartialResultMessage BuildPartialResult(
@@ -82,10 +130,10 @@ class EagerProtocol {
 
   P3QSystem* system_;
   std::unordered_map<std::uint64_t, QueryState> state_;
-  std::unordered_set<UserId> engaged_;
   /// Users who took part in query gossip during the current cycle; each
   /// runs one maintenance exchange at the end of the cycle.
   std::unordered_set<UserId> participants_;
+  std::vector<NodePlan> plans_;  ///< per-node effect slots
   std::uint64_t next_id_ = 1;
 };
 

@@ -11,12 +11,13 @@ namespace {
 /// `fanout` stored profiles ("if more than 50 profiles are stored ... 50
 /// random ones are exchanged") plus the node's own fresh digest, so a user's
 /// own updates disseminate.
-std::vector<DigestInfo> MakeProposals(P3QNode* node, int fanout) {
+std::vector<DigestInfo> MakeProposals(const P3QNode* node, int fanout,
+                                      Rng* rng) {
   std::vector<ProfilePtr> stored = node->network().StoredProfiles();
   std::vector<DigestInfo> proposals;
   if (static_cast<int>(stored.size()) > fanout) {
-    stored = node->rng().SampleWithoutReplacement(
-        stored, static_cast<std::size_t>(fanout));
+    stored =
+        rng->SampleWithoutReplacement(stored, static_cast<std::size_t>(fanout));
   }
   proposals.reserve(stored.size() + 1);
   for (ProfilePtr& p : stored) {
@@ -33,13 +34,15 @@ std::size_t ProposalWireBytes(const std::vector<DigestInfo>& proposals) {
   return bytes;
 }
 
-/// Algorithm 1 at the receiving side: screens each proposed digest, ships
-/// actions on common items to score the survivors, and fetches the full
-/// profiles of candidates that enter the stored top-c.
-void ProcessProposals(P3QSystem* system, P3QNode* receiver,
-                      const std::vector<DigestInfo>& proposals,
-                      P3QNode* sender) {
-  Network& net = system->network();
+/// Algorithm 1 steps 1-2 at the receiving side, against frozen state:
+/// screens each proposed digest, accounts the actions-on-common-items
+/// traffic, and emits an offer (with precomputed similarity score) for every
+/// survivor. Step 3 — offering to the personal network and the conditional
+/// full-profile transfer — happens at commit time.
+void ScreenProposals(P3QSystem* system, const P3QNode* receiver,
+                     const std::vector<DigestInfo>& proposals, Rng* rng,
+                     Metrics* traffic,
+                     std::vector<ProfileExchangeOffer>* offers) {
   const Profile& mine = *receiver->profile();
   for (const DigestInfo& d : proposals) {
     if (d.user == receiver->id()) continue;
@@ -47,7 +50,7 @@ void ProcessProposals(P3QSystem* system, P3QNode* receiver,
     // digest of the user, or when the Bloom digest shows no common item.
     const std::uint32_t known = receiver->network().KnownVersion(d.user);
     if (known != PersonalNetwork::kNoVersion && d.version() <= known) continue;
-    if (!DigestIndicatesCommonItem(mine, d, &receiver->rng())) continue;
+    if (!DigestIndicatesCommonItem(mine, d, rng)) continue;
 
     // Step 2 — the receiver derives the apparently-common items by testing
     // her own items against the candidate's Bloom digest (true common items
@@ -58,41 +61,60 @@ void ProcessProposals(P3QSystem* system, P3QNode* receiver,
     // step-2 traffic.
     const PairSimilarity sim = system->PairInfo(mine, *d.snapshot);
     const double fpp = d.digest().EstimatedFpp();
-    const int spurious = receiver->rng().NextBinomial(
-        static_cast<int>(mine.NumItems()) -
-            static_cast<int>(sim.common_items),
+    const int spurious = rng->NextBinomial(
+        static_cast<int>(mine.NumItems()) - static_cast<int>(sim.common_items),
         fpp);
     const std::uint64_t apparent_common = sim.common_items + spurious;
-    net.RecordMessage(MessageType::kLazyCommonItems,
-                      apparent_common * 16 +
-                          static_cast<std::uint64_t>(sim.b_actions_on_common) *
-                              kBytesPerTaggingAction);
+    traffic->Record(MessageType::kLazyCommonItems,
+                    apparent_common * 16 +
+                        static_cast<std::uint64_t>(sim.b_actions_on_common) *
+                            kBytesPerTaggingAction);
     if (sim.score == 0) continue;
     const std::uint64_t score =
         SimilarityScore(system->config().similarity, sim.score, mine.Length(),
                         d.snapshot->Length());
 
-    // Step 3 — offer to the personal network; if the entry lands in the
-    // stored top-c, the rest of the profile is transferred.
+    ProfileExchangeOffer offer;
+    offer.score = score;
+    offer.digest = d;
+    offer.rest_bytes =
+        static_cast<std::uint64_t>(d.snapshot->Length() -
+                                   sim.b_actions_on_common) *
+        kBytesPerTaggingAction;
+    offers->push_back(std::move(offer));
+  }
+}
+
+/// Commit half of an exchange direction: offer each screened candidate to
+/// the receiver's personal network; when the entry lands in the stored
+/// top-c, the rest of the profile is transferred (step 3).
+void CommitOffers(P3QSystem* system, P3QNode* receiver,
+                  const std::vector<ProfileExchangeOffer>& offers) {
+  Network& net = system->network();
+  for (const ProfileExchangeOffer& offer : offers) {
     ConsiderOutcome outcome = receiver->network().Consider(
-        d.user, score, d, /*replica=*/d.snapshot);
+        offer.digest.user, offer.score, offer.digest,
+        /*replica=*/offer.digest.snapshot);
     if (outcome.stored_profile) {
-      const std::size_t rest =
-          d.snapshot->Length() - sim.b_actions_on_common;
-      net.RecordMessage(MessageType::kLazyFullProfile,
-                        rest * kBytesPerTaggingAction);
+      net.RecordMessage(MessageType::kLazyFullProfile, offer.rest_bytes);
     }
   }
+}
 
-  // Entries entitled to storage but missing (or holding a stale) replica are
-  // served from the gossip partner when she stores an at-least-as-new copy
-  // (Algorithm 1's "require the rest of the tagging actions" is answered by
-  // the partner who proposed the digest). There is deliberately no fallback
-  // fetch from the owner here: update dissemination flows through gossip
-  // replicas and random-view probing only, which is what gives the paper's
-  // storage-dependent freshness behaviour (Figure 7).
+/// Entries entitled to storage but missing (or holding a stale) replica are
+/// served from the gossip partner when she stores an at-least-as-new copy
+/// (Algorithm 1's "require the rest of the tagging actions" is answered by
+/// the partner who proposed the digest). There is deliberately no fallback
+/// fetch from the owner here: update dissemination flows through gossip
+/// replicas and random-view probing only, which is what gives the paper's
+/// storage-dependent freshness behaviour (Figure 7). Runs at commit time,
+/// against the partner's current (partially committed) state — commit order
+/// is canonical, so this stays deterministic.
+void CommitReplicaFill(P3QSystem* system, P3QNode* receiver,
+                       const P3QNode* sender) {
+  Network& net = system->network();
+  const Profile& mine = *receiver->profile();
   for (UserId w : receiver->network().EntriesNeedingProfile()) {
-    if (sender == nullptr) continue;
     ProfilePtr replica = sender->FindUsableProfile(w);
     if (replica == nullptr) continue;
     const std::uint32_t known = receiver->network().KnownVersion(w);
@@ -116,44 +138,76 @@ void ProcessProposals(P3QSystem* system, P3QNode* receiver,
 
 }  // namespace
 
-void LazyProtocol::RunProfileExchange(P3QSystem* system, UserId a, UserId b) {
-  P3QNode* na = &system->node(a);
-  P3QNode* nb = &system->node(b);
+LazyProtocol::LazyProtocol(P3QSystem* system)
+    : system_(system), plans_(system->NumUsers()) {}
+
+ProfileExchangePlan LazyProtocol::PlanProfileExchange(P3QSystem* system,
+                                                      UserId a, UserId b,
+                                                      Rng* rng,
+                                                      Metrics* traffic) {
+  const P3QNode* na = &system->node(a);
+  const P3QNode* nb = &system->node(b);
   const int fanout = system->config().gossip_profile_fanout;
 
-  std::vector<DigestInfo> from_a = MakeProposals(na, fanout);
-  std::vector<DigestInfo> from_b = MakeProposals(nb, fanout);
-  system->network().RecordMessage(MessageType::kLazyDigestProposal,
-                                  ProposalWireBytes(from_a));
-  system->network().RecordMessage(MessageType::kLazyDigestProposal,
-                                  ProposalWireBytes(from_b));
-  ProcessProposals(system, nb, from_a, na);
-  ProcessProposals(system, na, from_b, nb);
+  ProfileExchangePlan plan;
+  plan.a = a;
+  plan.b = b;
+  const std::vector<DigestInfo> from_a = MakeProposals(na, fanout, rng);
+  const std::vector<DigestInfo> from_b = MakeProposals(nb, fanout, rng);
+  traffic->Record(MessageType::kLazyDigestProposal, ProposalWireBytes(from_a));
+  traffic->Record(MessageType::kLazyDigestProposal, ProposalWireBytes(from_b));
+  ScreenProposals(system, nb, from_a, rng, traffic, &plan.offers_to_b);
+  ScreenProposals(system, na, from_b, rng, traffic, &plan.offers_to_a);
+  return plan;
 }
 
-void LazyProtocol::RunBottomLayer(P3QNode* node) {
-  Network& net = system_->network();
-  RandomView& view = node->random_view();
+void LazyProtocol::CommitProfileExchange(P3QSystem* system,
+                                         const ProfileExchangePlan& plan) {
+  P3QNode* na = &system->node(plan.a);
+  P3QNode* nb = &system->node(plan.b);
+  CommitOffers(system, nb, plan.offers_to_b);
+  CommitReplicaFill(system, nb, na);
+  CommitOffers(system, na, plan.offers_to_a);
+  CommitReplicaFill(system, na, nb);
+}
 
-  // Random-peer-sampling shuffle with one online random-view peer.
+void LazyProtocol::RunProfileExchange(P3QSystem* system, UserId a, UserId b,
+                                      Rng* rng) {
+  const ProfileExchangePlan plan =
+      PlanProfileExchange(system, a, b, rng, &system->network().metrics());
+  CommitProfileExchange(system, plan);
+}
+
+void LazyProtocol::PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
+                                   NodePlan* plan) {
+  const Network& net = system_->network();
+  Metrics& traffic = system_->network().ShardTraffic(ctx.shard);
+
+  // Random-peer-sampling shuffle with one online random-view peer. The
+  // frozen view is filtered locally as unresponsive peers are discovered;
+  // the removals themselves are committed after the barrier.
+  std::vector<DigestInfo> pool = node->random_view().entries();
   for (int attempt = 0; attempt < system_->config().offline_retry; ++attempt) {
-    const UserId peer = view.SelectRandomPeer(&node->rng());
-    if (peer == kInvalidUser) break;
+    if (pool.empty()) break;
+    const std::size_t pick =
+        static_cast<std::size_t>(ctx.rng->NextUint64(pool.size()));
+    const UserId peer = pool[pick].user;
     if (!net.IsOnline(peer)) {
-      view.Remove(peer);  // unresponsive entry is replaced over time
+      plan->view_removals.push_back(peer);  // replaced over time
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
       continue;
     }
-    P3QNode* pn = &system_->node(peer);
-    std::vector<DigestInfo> mine = view.MakeExchangePayload(node->SelfDigest());
-    std::vector<DigestInfo> theirs =
+    const P3QNode* pn = &system_->node(peer);
+    plan->bottom_peer = peer;
+    plan->send_payload = pool;
+    plan->send_payload.push_back(node->SelfDigest());
+    plan->recv_payload =
         pn->random_view().MakeExchangePayload(pn->SelfDigest());
     std::size_t bytes_mine = 0, bytes_theirs = 0;
-    for (const auto& d : mine) bytes_mine += d.WireBytes();
-    for (const auto& d : theirs) bytes_theirs += d.WireBytes();
-    net.RecordMessage(MessageType::kRandomViewGossip, bytes_mine);
-    net.RecordMessage(MessageType::kRandomViewGossip, bytes_theirs);
-    view.Merge(theirs, &node->rng());
-    pn->random_view().Merge(mine, &pn->rng());
+    for (const auto& d : plan->send_payload) bytes_mine += d.WireBytes();
+    for (const auto& d : plan->recv_payload) bytes_theirs += d.WireBytes();
+    traffic.Record(MessageType::kRandomViewGossip, bytes_mine);
+    traffic.Record(MessageType::kRandomViewGossip, bytes_theirs);
     break;
   }
 
@@ -162,27 +216,28 @@ void LazyProtocol::RunBottomLayer(P3QNode* node) {
   // its owner and scored as a personal-network candidate. Probing is
   // memoized per (user, version) — re-probing an unchanged digest cannot
   // change the outcome, so this is behaviourally the paper's per-cycle
-  // re-scoring at a fraction of the cost.
+  // re-scoring at a fraction of the cost. The memo is node-private state,
+  // safe to update during the plan phase.
   const Profile& mine = *node->profile();
-  for (const DigestInfo& d : view.entries()) {
+  for (const DigestInfo& d : node->random_view().entries()) {
     if (!node->ShouldProbe(d.user, d.version())) continue;
     if (node->network().KnownVersion(d.user) != PersonalNetwork::kNoVersion &&
         node->network().KnownVersion(d.user) >= d.version()) {
       continue;
     }
-    if (!DigestIndicatesCommonItem(mine, d, &node->rng())) continue;
+    if (!DigestIndicatesCommonItem(mine, d, ctx.rng)) continue;
     if (!net.IsOnline(d.user)) continue;
     const ProfilePtr current = system_->profile_store().Get(d.user);
-    net.RecordMessage(MessageType::kDirectProfileFetch, current->WireBytes());
+    traffic.Record(MessageType::kDirectProfileFetch, current->WireBytes());
     const std::uint64_t score = system_->ScoreBetween(mine, *current);
     if (score == 0) continue;
-    node->network().Consider(d.user, score, DigestInfo{d.user, current},
-                             current);
+    plan->probes.push_back(PlannedProbe{score, DigestInfo{d.user, current}});
   }
 }
 
-void LazyProtocol::RunTopLayer(P3QNode* node) {
-  Network& net = system_->network();
+void LazyProtocol::PlanTopLayer(P3QNode* node, const PlanContext& ctx,
+                                NodePlan* plan) {
+  const Network& net = system_->network();
   std::vector<UserId> skip;
   for (int attempt = 0; attempt <= system_->config().offline_retry; ++attempt) {
     const UserId dest = node->network().OldestNeighbour(skip);
@@ -191,17 +246,56 @@ void LazyProtocol::RunTopLayer(P3QNode* node) {
       skip.push_back(dest);
       continue;
     }
-    RunProfileExchange(system_, node->id(), dest);
-    node->network().TouchGossiped(dest);
-    system_->node(dest).network().ResetTimestamp(node->id());
+    plan->exchange =
+        PlanProfileExchange(system_, node->id(), dest, ctx.rng,
+                            &system_->network().ShardTraffic(ctx.shard));
     return;
   }
 }
 
-void LazyProtocol::RunCycle(UserId node_id, std::uint64_t /*cycle*/) {
+void LazyProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
+  NodePlan& plan = plans_[node_id];
+  plan = NodePlan{};
+  plan.active = true;
   P3QNode* node = &system_->node(node_id);
-  if (system_->config().enable_bottom_layer) RunBottomLayer(node);
-  RunTopLayer(node);
+  if (system_->config().enable_bottom_layer) {
+    PlanBottomLayer(node, ctx, &plan);
+  }
+  PlanTopLayer(node, ctx, &plan);
+}
+
+void LazyProtocol::EndPlan(std::uint64_t /*cycle*/) {
+  system_->network().MergeShardTraffic();
+}
+
+void LazyProtocol::CommitCycle(UserId node_id, std::uint64_t /*cycle*/,
+                               Rng* rng) {
+  NodePlan& plan = plans_[node_id];
+  if (!plan.active) return;
+  P3QNode* node = &system_->node(node_id);
+
+  // Bottom layer: drop unresponsive peers, then both sides of the shuffle
+  // keep a random subset of the union (the peer's merge chains after any
+  // merge an earlier commit already applied to her view).
+  for (UserId r : plan.view_removals) node->random_view().Remove(r);
+  if (plan.bottom_peer != kInvalidUser) {
+    node->random_view().Merge(plan.recv_payload, rng);
+    system_->node(plan.bottom_peer).random_view().Merge(plan.send_payload, rng);
+  }
+  for (const PlannedProbe& probe : plan.probes) {
+    node->network().Consider(probe.digest.user, probe.score, probe.digest,
+                             probe.digest.snapshot);
+  }
+
+  // Top layer: the 3-step exchange plus timestamp bookkeeping.
+  if (plan.exchange.Planned()) {
+    const UserId dest = plan.exchange.b;
+    CommitProfileExchange(system_, plan.exchange);
+    node->network().TouchGossiped(dest);
+    system_->node(dest).network().ResetTimestamp(node_id);
+  }
+
+  plan = NodePlan{};  // release the buffered effects
 }
 
 }  // namespace p3q

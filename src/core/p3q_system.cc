@@ -15,7 +15,8 @@ P3QSystem::P3QSystem(const Dataset& dataset, const P3QConfig& config,
       rng_(seed),
       store_(dataset.BuildProfileStore(config.digest_bits)),
       network_(dataset.NumUsers()),
-      engine_(dataset.NumUsers(), SplitMix64(&seed)) {
+      engine_(dataset.NumUsers(), SplitMix64(&seed)),
+      eager_engine_(dataset.NumUsers(), SplitMix64(&seed)) {
   const std::string problem = config_.Validate();
   if (!problem.empty()) {
     throw std::invalid_argument("P3QConfig: " + problem);
@@ -37,6 +38,14 @@ P3QSystem::P3QSystem(const Dataset& dataset, const P3QConfig& config,
   eager_ = std::make_unique<EagerProtocol>(this);
   engine_.AddProtocol(lazy_.get());
   engine_.SetLivenessCheck([this](UserId u) { return network_.IsOnline(u); });
+  eager_engine_.AddProtocol(eager_.get());
+  eager_engine_.SetLivenessCheck(
+      [this](UserId u) { return network_.IsOnline(u); });
+}
+
+void P3QSystem::SetThreads(int threads) {
+  engine_.SetThreads(threads);
+  eager_engine_.SetThreads(threads);
 }
 
 P3QSystem::~P3QSystem() = default;
@@ -99,7 +108,7 @@ std::uint64_t P3QSystem::IssueQuery(const QuerySpec& spec) {
 }
 
 void P3QSystem::RunEagerCycles(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) eager_->RunCycle();
+  eager_engine_.RunCycles(n);
 }
 
 ActiveQuery& P3QSystem::query(std::uint64_t query_id) {
@@ -175,14 +184,29 @@ PairSimilarity P3QSystem::PairInfo(const Profile& a, const Profile& b) {
   key.users = (static_cast<std::uint64_t>(lo.owner()) << 32) | hi.owner();
   key.versions =
       (static_cast<std::uint64_t>(lo.version()) << 32) | hi.version();
-  auto it = pair_cache_.find(key);
-  if (it == pair_cache_.end()) {
+  PairCacheStripe& stripe =
+      pair_cache_[PairKeyHash{}(key) & (kPairCacheStripes - 1)];
+
+  PairSimilarity sim;
+  bool cached = false;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      sim = it->second;
+      cached = true;
+    }
+  }
+  if (!cached) {
+    // Compute outside the lock; two threads racing on the same key both
+    // compute the same pure value, so the first insert wins harmlessly.
+    sim = ComputePairSimilarity(lo, hi);
+    std::lock_guard<std::mutex> lock(stripe.mu);
     // Bound the cache so billion-pair full-scale sweeps cannot exhaust
     // memory; a reset only costs recomputation.
-    if (pair_cache_.size() > 20'000'000) pair_cache_.clear();
-    it = pair_cache_.emplace(key, ComputePairSimilarity(lo, hi)).first;
+    if (stripe.map.size() > 20'000'000 / kPairCacheStripes) stripe.map.clear();
+    stripe.map.emplace(key, sim);
   }
-  PairSimilarity sim = it->second;
   if (swapped) std::swap(sim.a_actions_on_common, sim.b_actions_on_common);
   return sim;
 }

@@ -16,9 +16,11 @@
 #ifndef P3Q_CORE_P3Q_SYSTEM_H_
 #define P3Q_CORE_P3Q_SYSTEM_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -60,6 +62,12 @@ class P3QSystem {
   const P3QNode& node(UserId user) const { return *nodes_[user]; }
   Rng& rng() { return rng_; }
   Metrics& metrics() { return network_.metrics(); }
+
+  /// Worker threads for the engines' parallel plan phases. Results are
+  /// byte-identical for every value (see sim/engine.h); the initial value
+  /// comes from the P3Q_THREADS environment variable (default 1).
+  void SetThreads(int threads);
+  int threads() const { return engine_.threads(); }
 
   // -- Initialization ------------------------------------------------------
 
@@ -149,7 +157,10 @@ class P3QSystem {
 
   /// Similarity of two profile snapshots, memoized on (owner, version)
   /// pairs; the result is oriented to the (a, b) argument order. The score
-  /// field is always the raw common-action count.
+  /// field is always the raw common-action count. Thread-safe: the cache is
+  /// sharded by key hash with one lock per shard, so the engines' parallel
+  /// plan phases share it; memoizing a pure function keeps the results
+  /// deterministic regardless of which thread populates an entry first.
   PairSimilarity PairInfo(const Profile& a, const Profile& b);
 
   /// The configured similarity metric applied to the pair (what the
@@ -177,15 +188,25 @@ class P3QSystem {
     }
   };
 
+  /// Lock striping for the pair-similarity cache: plan-phase threads mostly
+  /// hit different stripes, and a stripe's lock is held only for the map
+  /// lookup/insert, never during ComputePairSimilarity.
+  static constexpr std::size_t kPairCacheStripes = 64;
+  struct PairCacheStripe {
+    std::mutex mu;
+    std::unordered_map<PairKey, PairSimilarity, PairKeyHash> map;
+  };
+
   P3QConfig config_;
   Rng rng_;
   ProfileStore store_;
   Network network_;
-  Engine engine_;
+  Engine engine_;        ///< drives the lazy protocol's cycles
+  Engine eager_engine_;  ///< drives the eager protocol's cycles
   std::vector<std::unique_ptr<P3QNode>> nodes_;
   std::unique_ptr<LazyProtocol> lazy_;
   std::unique_ptr<EagerProtocol> eager_;
-  std::unordered_map<PairKey, PairSimilarity, PairKeyHash> pair_cache_;
+  std::array<PairCacheStripe, kPairCacheStripes> pair_cache_;
 };
 
 }  // namespace p3q

@@ -64,7 +64,8 @@ void AppendTrafficJson(const Metrics& traffic, const std::string& indent,
 }
 
 void AppendTimingJson(const PhaseTiming& timing, std::ostringstream* out) {
-  *out << "{\"wall_seconds\": " << Num(timing.wall_seconds)
+  *out << "{\"threads\": " << timing.threads
+       << ", \"wall_seconds\": " << Num(timing.wall_seconds)
        << ", \"cycles_per_sec\": " << Num(timing.cycles_per_sec, 1)
        << ", \"user_cycles_per_sec\": " << Num(timing.user_cycles_per_sec, 1)
        << "}";
@@ -135,7 +136,7 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
     out << "," << name << "_messages," << name << "_bytes";
   }
   if (include_timing) {
-    out << ",wall_seconds,cycles_per_sec,user_cycles_per_sec";
+    out << ",threads,wall_seconds,cycles_per_sec,user_cycles_per_sec";
   }
   out << "\n";
 
@@ -154,7 +155,7 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
       out << "," << s.messages << "," << s.bytes;
     }
     if (include_timing) {
-      out << "," << Num(timing.wall_seconds) << ","
+      out << "," << timing.threads << "," << Num(timing.wall_seconds) << ","
           << Num(timing.cycles_per_sec, 1) << ","
           << Num(timing.user_cycles_per_sec, 1);
     }

@@ -66,6 +66,10 @@ ScenarioReport RunScenario(const Scenario& scenario,
     throw std::invalid_argument(
         "ScenarioRunnerOptions: cycle_scale must be > 0");
   }
+  if (options.threads < 0) {
+    throw std::invalid_argument(
+        "ScenarioRunnerOptions: threads must be >= 0 (0 = inherit)");
+  }
 
   const SyntheticTrace trace = GenerateSyntheticTrace(
       SyntheticConfig::DeliciousLike(options.users), options.seed);
@@ -84,6 +88,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
   }
 
   P3QSystem system(dataset, config, /*per_user_storage=*/{}, options.seed);
+  if (options.threads > 0) system.SetThreads(options.threads);
   system.BootstrapRandomViews();
   // Workload randomness (querier choice, duty sampling, update batches) is
   // forked off the master seed, decorrelated from the system's own stream.
@@ -233,6 +238,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
 
     pr.timing.wall_seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
+    pr.timing.threads = system.threads();
     if (pr.timing.wall_seconds > 0) {
       pr.timing.cycles_per_sec =
           static_cast<double>(cycles) / pr.timing.wall_seconds;
@@ -250,6 +256,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
   }
 
   report.total_traffic = system.metrics().Snapshot();
+  report.total_timing.threads = system.threads();
   if (report.total_timing.wall_seconds > 0) {
     double online_weighted = 0;
     for (const PhaseReport& pr : report.phases) {

@@ -38,14 +38,20 @@ struct ScenarioRunnerOptions {
   double alpha = 0.5;
   /// Top-k size.
   int top_k = 10;
+  /// Worker threads for the engine's parallel plan phases; 0 inherits the
+  /// P3Q_THREADS environment default (1). Reports are byte-identical for
+  /// every value; only the timing block (opt-in) differs.
+  int threads = 0;
 };
 
-/// Wall-clock throughput of a phase (the only non-deterministic part of a
-/// report; serialization excludes it unless asked).
+/// Wall-clock throughput of a phase (the only thread-count-dependent part
+/// of a report; serialization excludes it unless asked, so reports from
+/// equal seeds are byte-identical across thread counts by default).
 struct PhaseTiming {
   double wall_seconds = 0;
   double cycles_per_sec = 0;
   double user_cycles_per_sec = 0;  ///< cycles/sec × online users (work rate)
+  int threads = 1;                 ///< plan-phase worker threads of the run
 };
 
 /// Everything measured over one phase.

@@ -1,22 +1,206 @@
 #include "sim/engine.h"
 
-#include <numeric>
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/env.h"
 
 namespace p3q {
+namespace {
+
+/// SplitMix64-based hash chaining for stream derivation: absorbing a word
+/// and remixing keeps sibling streams (adjacent cycles/nodes/salts)
+/// decorrelated.
+std::uint64_t Absorb(std::uint64_t state, std::uint64_t word) {
+  std::uint64_t s =
+      state ^ (word + 0x9e3779b97f4a7c15ULL + (state << 6) + (state >> 2));
+  return SplitMix64(&s);
+}
+
+int ClampThreads(std::int64_t threads) {
+  return static_cast<int>(std::clamp<std::int64_t>(
+      threads, 1, static_cast<std::int64_t>(kEngineShards)));
+}
+
+}  // namespace
+
+/// Persistent plan-phase workers: spawned once and fed one job per plan
+/// phase through an epoch counter, so a run pays the thread spawn cost once
+/// instead of once per protocol per cycle (idle workers block on the
+/// condition variable between phases). Run() returns only after every
+/// worker finished the job — the cycle barrier — even when the job throws:
+/// exceptions from any thread are captured and the first one is rethrown
+/// on the calling thread after the barrier, matching threads=1 semantics.
+class PlanWorkerPool {
+ public:
+  explicit PlanWorkerPool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~PlanWorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Runs `job` on every worker and the calling thread; returns when all
+  /// workers are done with it.
+  void Run(const std::function<void()>& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      finished_ = 0;
+      error_ = nullptr;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    std::exception_ptr caller_error;
+    try {
+      job();
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+    std::exception_ptr worker_error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return finished_ == threads_.size(); });
+      worker_error = error_;
+    }
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (worker_error) std::rethrow_exception(worker_error);
+  }
+
+ private:
+  void Loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void()>* job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ > seen; });
+        if (stop_) return;
+        seen = epoch_;
+        job = job_;
+      }
+      std::exception_ptr error;
+      try {
+        (*job)();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (error != nullptr && error_ == nullptr) error_ = error;
+        ++finished_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void()>* job_ = nullptr;
+  std::exception_ptr error_;
+  std::uint64_t epoch_ = 0;
+  std::size_t finished_ = 0;
+  bool stop_ = false;
+};
 
 Engine::Engine(std::size_t num_nodes, std::uint64_t seed)
-    : order_(num_nodes), rng_(seed) {
-  std::iota(order_.begin(), order_.end(), UserId{0});
+    : num_nodes_(num_nodes),
+      seed_(seed),
+      threads_(ClampThreads(GetEnvInt("P3Q_THREADS", 1))),
+      alive_(num_nodes, 1) {}
+
+Engine::~Engine() = default;
+
+void Engine::SetThreads(int threads) {
+  const int clamped = ClampThreads(threads);
+  if (clamped != threads_) pool_.reset();  // respawned lazily at the new size
+  threads_ = clamped;
+}
+
+Rng Engine::ForkStream(std::uint64_t seed, std::uint64_t cycle, UserId node,
+                       std::uint64_t salt) {
+  std::uint64_t h = Absorb(seed, salt);
+  h = Absorb(h, cycle);
+  h = Absorb(h, static_cast<std::uint64_t>(node));
+  return Rng(h);
+}
+
+std::pair<UserId, UserId> Engine::ShardRange(std::size_t shard) const {
+  const std::size_t per = ShardWidth(num_nodes_);
+  const std::size_t lo = std::min(shard * per, num_nodes_);
+  const std::size_t hi = std::min(lo + per, num_nodes_);
+  return {static_cast<UserId>(lo), static_cast<UserId>(hi)};
+}
+
+void Engine::SnapshotLiveness() {
+  if (!liveness_) {
+    std::fill(alive_.begin(), alive_.end(), char{1});
+    return;
+  }
+  for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+    alive_[u] = liveness_(u) ? 1 : 0;
+  }
+}
+
+void Engine::RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt) {
+  std::atomic<std::size_t> next_shard{0};
+  const std::function<void()> plan_shards = [&]() {
+    for (std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+         s < kEngineShards;
+         s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
+      const auto [first, last] = ShardRange(s);
+      PlanContext ctx;
+      ctx.cycle = cycle_;
+      ctx.shard = s;
+      for (UserId u = first; u < last; ++u) {
+        if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
+        Rng rng = ForkStream(seed_, cycle_, u, salt);
+        ctx.rng = &rng;
+        protocol->PlanCycle(u, ctx);
+      }
+    }
+  };
+  if (threads_ <= 1) {
+    plan_shards();
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<PlanWorkerPool>(threads_ - 1);
+  pool_->Run(plan_shards);
 }
 
 void Engine::RunCycles(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
-    rng_.Shuffle(&order_);
+    SnapshotLiveness();
+    std::uint64_t protocol_index = 0;
     for (CycleProtocol* protocol : protocols_) {
-      for (UserId node : order_) {
-        if (liveness_ && !liveness_(node)) continue;
-        protocol->RunCycle(node, cycle_);
+      // Distinct per-protocol salts keep the streams of co-registered
+      // protocols decorrelated.
+      const std::uint64_t tag = protocol_index++ << 32;
+      protocol->BeginCycle(cycle_);
+      RunPlanPhase(protocol, kPlanSalt ^ tag);
+      protocol->EndPlan(cycle_);
+      for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+        if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
+        Rng rng = ForkStream(seed_, cycle_, u, kCommitSalt ^ tag);
+        protocol->CommitCycle(u, cycle_, &rng);
       }
+      Rng end_rng = ForkStream(seed_, cycle_, 0, kCycleSalt ^ tag);
+      protocol->EndCycle(cycle_, &end_rng);
     }
     for (auto& observer : observers_) observer(cycle_);
     ++cycle_;

@@ -1,15 +1,48 @@
-// Cycle-driven simulation engine (the PeerSim substitute).
+// Deterministic sharded parallel cycle engine (the PeerSim substitute).
 //
 // PeerSim's cycle-based mode invokes, once per cycle, the nextCycle() hook
-// of every node's protocol in randomized order, then runs registered
-// Controls (observers). Engine reproduces exactly that contract: protocols
-// implement CycleProtocol, observers are callables invoked after every
-// cycle with the cycle number.
+// of every node's protocol, then runs registered Controls (observers). The
+// original Engine reproduced that contract sequentially; this engine keeps
+// the cycle/observer structure but executes each cycle as a deterministic
+// bulk-synchronous step so the node loop can run on several threads while
+// producing byte-identical results for every thread count (including 1):
+//
+//   1. Liveness is snapshotted ONCE per cycle. Every protocol pass of the
+//      cycle sees the same online set; a node failing mid-cycle (through an
+//      observer or an effect) only disappears from the next cycle.
+//   2. For each registered protocol, in registration order:
+//        a. BeginCycle(cycle)          — sequential set-up hook.
+//        b. PlanCycle(node, ctx)       — the PARALLEL phase. Nodes are
+//           partitioned into kEngineShards fixed, contiguous shards; worker
+//           threads claim whole shards, so one shard is always planned by a
+//           single thread, in ascending node order. Plan code may only READ
+//           shared state (the frozen end-of-previous-phase state) and write
+//           (i) per-node effect slots nobody else touches and (ii) the
+//           per-shard mailboxes (e.g. Network::ShardTraffic). All
+//           randomness comes from ctx.rng, a private stream forked from
+//           (seed, cycle, node), so no draw depends on interleaving.
+//        c. EndPlan(cycle)             — sequential barrier hook; merges the
+//           per-shard mailboxes in shard order.
+//        d. CommitCycle(node, cycle, rng) — the COMMIT phase: called
+//           sequentially in ascending node order; applies the buffered
+//           effects (arbitrary cross-node mutation is allowed here). The
+//           rng is a second per-(cycle, node) forked stream.
+//        e. EndCycle(cycle, rng)       — sequential tear-down hook (e.g.
+//           the eager mode's wave of refreshments).
+//   3. Observers run after the last protocol's commit, in registration
+//      order.
+//
+// Because plan reads only frozen state and commit order is canonical, the
+// node-visit multiset, every RNG stream, and every committed effect are
+// independent of the thread count — `--threads=N` is byte-identical to
+// `--threads=1`.
 #ifndef P3Q_SIM_ENGINE_H_
 #define P3Q_SIM_ENGINE_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -17,22 +50,87 @@
 
 namespace p3q {
 
+class PlanWorkerPool;  // persistent plan-phase workers (engine.cc)
+
+/// Fixed shard count. Nodes map to contiguous shards independently of the
+/// thread count, so shard-indexed mailboxes merge identically for every N.
+inline constexpr std::size_t kEngineShards = 64;
+
+/// Everything a plan-phase callback may use besides the node id.
+struct PlanContext {
+  std::uint64_t cycle = 0;
+  /// Shard the node belongs to; plan code writing to per-shard mailboxes
+  /// (e.g. Network::ShardTraffic) must index them with this.
+  std::size_t shard = 0;
+  /// Private per-(cycle, node) random stream; the ONLY randomness plan code
+  /// may draw.
+  Rng* rng = nullptr;
+};
+
 /// A per-node protocol driven by the cycle engine.
+///
+/// The execution contract (see the file comment): PlanCycle runs in
+/// parallel against frozen state and buffers effects; CommitCycle applies
+/// them sequentially in ascending node order. A protocol whose cycle work
+/// is trivially local may do everything in PlanCycle's buffers and commit
+/// them wholesale, but shared state must never be mutated during the plan
+/// phase.
 class CycleProtocol {
  public:
   virtual ~CycleProtocol() = default;
 
-  /// Invoked once per cycle for every online node, in randomized order.
-  virtual void RunCycle(UserId node, std::uint64_t cycle) = 0;
+  /// Sequential hook before the plan phase of a cycle.
+  virtual void BeginCycle(std::uint64_t cycle) { (void)cycle; }
+
+  /// Cheap pre-filter consulted (from plan-phase threads — must be
+  /// read-only and race-free) before forking streams and invoking
+  /// PlanCycle/CommitCycle for an online node. Protocols where most nodes
+  /// idle most cycles (e.g. eager query processing) override this so a
+  /// mostly-idle population costs one probe per node instead of a stream
+  /// fork + callback. Must not flip from true to false between a node's
+  /// plan and its commit.
+  virtual bool ActiveInCycle(UserId node) const {
+    (void)node;
+    return true;
+  }
+
+  /// Parallel phase: invoked once per online node per cycle, possibly from
+  /// several threads at once. Must not mutate shared state (see contract).
+  virtual void PlanCycle(UserId node, const PlanContext& ctx) = 0;
+
+  /// Sequential barrier hook between the plan and commit phases (merge the
+  /// per-shard mailboxes here).
+  virtual void EndPlan(std::uint64_t cycle) { (void)cycle; }
+
+  /// Sequential commit: invoked for every online node in ascending id
+  /// order after the barrier; applies the node's buffered effects.
+  virtual void CommitCycle(UserId node, std::uint64_t cycle, Rng* rng) {
+    (void)node;
+    (void)cycle;
+    (void)rng;
+  }
+
+  /// Sequential hook after all commits of this protocol in this cycle.
+  virtual void EndCycle(std::uint64_t cycle, Rng* rng) {
+    (void)cycle;
+    (void)rng;
+  }
 };
 
-/// Cycle scheduler: randomized node order, post-cycle observers.
+/// Deterministic sharded cycle scheduler.
 class Engine {
  public:
-  /// num_nodes: population size; seed: drives the per-cycle shuffling.
+  /// num_nodes: population size; seed: root of every forked stream. The
+  /// initial thread count comes from the P3Q_THREADS environment variable
+  /// (default 1); SetThreads overrides it.
   Engine(std::size_t num_nodes, std::uint64_t seed);
+  ~Engine();
 
-  /// Registers a protocol; all registered protocols run every cycle.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers a protocol; all registered protocols run every cycle, in
+  /// registration order.
   void AddProtocol(CycleProtocol* protocol) { protocols_.push_back(protocol); }
 
   /// Registers an observer called after every cycle with the cycle index.
@@ -41,10 +139,18 @@ class Engine {
   }
 
   /// Optional liveness filter: nodes for which this returns false are
-  /// skipped (offline users do not initiate gossip).
+  /// skipped (offline users do not initiate gossip). Snapshotted once per
+  /// cycle — every protocol pass of a cycle sees the same online set.
   void SetLivenessCheck(std::function<bool(UserId)> check) {
     liveness_ = std::move(check);
   }
+
+  /// Worker threads for the plan phase (clamped to [1, kEngineShards]).
+  /// Results are byte-identical for every value.
+  void SetThreads(int threads);
+  int threads() const { return threads_; }
+
+  std::size_t num_nodes() const { return num_nodes_; }
 
   /// Runs n cycles.
   void RunCycles(std::uint64_t n);
@@ -52,13 +158,45 @@ class Engine {
   /// Cycles completed so far.
   std::uint64_t CurrentCycle() const { return cycle_; }
 
+  /// Shard of `node` in a population of `num_nodes`: contiguous ranges, so
+  /// ascending node order equals (shard, node-within-shard) order.
+  static std::size_t ShardOf(UserId node, std::size_t num_nodes) {
+    const std::size_t per = ShardWidth(num_nodes);
+    return per == 0 ? 0 : static_cast<std::size_t>(node) / per;
+  }
+
+  /// The independent stream handed to `node` in `cycle` for phase `salt`
+  /// (kPlanSalt / kCommitSalt / kCycleSalt). Exposed so tests can pin the
+  /// derivation and protocols can fork auxiliary streams deterministically.
+  static Rng ForkStream(std::uint64_t seed, std::uint64_t cycle, UserId node,
+                        std::uint64_t salt);
+
+  static constexpr std::uint64_t kPlanSalt = 0x706c616eULL;    // "plan"
+  static constexpr std::uint64_t kCommitSalt = 0x636f6d6dULL;  // "comm"
+  static constexpr std::uint64_t kCycleSalt = 0x6379636cULL;   // "cycl"
+
  private:
+  static std::size_t ShardWidth(std::size_t num_nodes) {
+    return (num_nodes + kEngineShards - 1) / kEngineShards;
+  }
+  /// [first, last) node range of `shard`.
+  std::pair<UserId, UserId> ShardRange(std::size_t shard) const;
+
+  void SnapshotLiveness();
+  void RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt);
+
   std::vector<CycleProtocol*> protocols_;
   std::vector<std::function<void(std::uint64_t)>> observers_;
   std::function<bool(UserId)> liveness_;
-  std::vector<UserId> order_;
-  Rng rng_;
+  std::size_t num_nodes_;
+  std::uint64_t seed_;
+  int threads_ = 1;
   std::uint64_t cycle_ = 0;
+  std::vector<char> alive_;  ///< per-cycle liveness snapshot
+  /// Persistent plan-phase workers; created lazily on the first parallel
+  /// plan phase (so drivers issuing RunCycles(1) per timeline event don't
+  /// respawn threads every cycle) and reset when SetThreads resizes.
+  std::unique_ptr<PlanWorkerPool> pool_;
 };
 
 }  // namespace p3q

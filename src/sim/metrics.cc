@@ -46,6 +46,13 @@ Metrics Metrics::Since(const Metrics& earlier) const {
   return delta;
 }
 
+void Metrics::MergeFrom(const Metrics& other) {
+  for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
+    stats_[i].messages += other.stats_[i].messages;
+    stats_[i].bytes += other.stats_[i].bytes;
+  }
+}
+
 void Metrics::Reset() {
   for (auto& s : stats_) s = MessageStats{};
 }

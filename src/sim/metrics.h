@@ -68,6 +68,12 @@ class Metrics {
   /// Per-type difference (this - earlier).
   Metrics Since(const Metrics& earlier) const;
 
+  /// Adds every counter of `other` into this (per-shard mailbox folding).
+  void MergeFrom(const Metrics& other);
+
+  /// True when every counter is zero.
+  bool Empty() const { return TotalMessages() == 0 && TotalBytes() == 0; }
+
   /// Zeroes every counter.
   void Reset();
 

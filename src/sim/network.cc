@@ -5,7 +5,17 @@
 namespace p3q {
 
 Network::Network(std::size_t num_users)
-    : online_(num_users, 1), num_online_(num_users) {}
+    : online_(num_users, 1),
+      num_online_(num_users),
+      shard_traffic_(kEngineShards) {}
+
+void Network::MergeShardTraffic() {
+  for (Metrics& shard : shard_traffic_) {
+    if (shard.Empty()) continue;
+    metrics_.MergeFrom(shard);
+    shard.Reset();
+  }
+}
 
 void Network::SetOnline(UserId user, bool online) {
   if (online_[user] == static_cast<char>(online)) return;

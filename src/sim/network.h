@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "sim/engine.h"
 #include "sim/metrics.h"
 
 namespace p3q {
@@ -50,6 +51,16 @@ class Network {
     metrics_.Record(type, bytes);
   }
 
+  /// Plan-phase traffic mailbox of an engine shard. The engine's execution
+  /// contract guarantees one shard is planned by a single thread, so plan
+  /// code records traffic here race-free; MergeShardTraffic folds the
+  /// mailboxes into the global counters at the cycle barrier.
+  Metrics& ShardTraffic(std::size_t shard) { return shard_traffic_[shard]; }
+
+  /// Folds (and zeroes) every per-shard mailbox into metrics(), in shard
+  /// order — the deterministic merge step of the plan/commit contract.
+  void MergeShardTraffic();
+
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
@@ -57,6 +68,7 @@ class Network {
   std::vector<char> online_;
   std::size_t num_online_;
   Metrics metrics_;
+  std::vector<Metrics> shard_traffic_;  ///< one mailbox per engine shard
 };
 
 }  // namespace p3q

@@ -1,0 +1,298 @@
+// Property/invariant suite for the deterministic sharded parallel engine's
+// execution contract (see sim/engine.h):
+//  - every online node is planned and committed exactly once per cycle per
+//    protocol; offline nodes are skipped entirely;
+//  - commits run in ascending node order; observers fire after the barrier
+//    (all commits) in registration order;
+//  - the per-cycle node-visit multiset, the per-node RNG streams and all
+//    committed effects are independent of the thread count (and of the
+//    shard count, which is fixed);
+//  - the per-shard mailboxes merge deterministically.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace p3q {
+namespace {
+
+/// Records everything the engine does, honouring the contract: plan writes
+/// only per-node slots (plus an atomic concurrency probe), commit appends
+/// to shared sequential logs.
+class RecordingProtocol : public CycleProtocol {
+ public:
+  struct PlanRecord {
+    std::uint64_t cycle = 0;
+    std::size_t shard = 0;
+    std::uint64_t first_draw = 0;  ///< first value of the node's stream
+    int visits = 0;
+  };
+
+  explicit RecordingProtocol(std::size_t num_nodes) : slots_(num_nodes) {}
+
+  void BeginCycle(std::uint64_t cycle) override {
+    sequence.push_back({"begin", cycle, kInvalidUser});
+  }
+  void PlanCycle(UserId node, const PlanContext& ctx) override {
+    PlanRecord& slot = slots_[node];
+    slot.cycle = ctx.cycle;
+    slot.shard = ctx.shard;
+    slot.first_draw = (*ctx.rng)();
+    slot.visits += 1;
+    const int now = in_plan_.fetch_add(1) + 1;
+    int peak = peak_concurrency.load();
+    while (now > peak && !peak_concurrency.compare_exchange_weak(peak, now)) {
+    }
+    in_plan_.fetch_sub(1);
+  }
+  void EndPlan(std::uint64_t cycle) override {
+    sequence.push_back({"end_plan", cycle, kInvalidUser});
+    for (UserId u = 0; u < static_cast<UserId>(slots_.size()); ++u) {
+      if (slots_[u].visits > 0) {
+        plans.emplace_back(u, slots_[u]);
+        slots_[u].visits = 0;
+      }
+    }
+  }
+  void CommitCycle(UserId node, std::uint64_t cycle, Rng* rng) override {
+    commits.push_back({node, cycle, (*rng)()});
+    sequence.push_back({"commit", cycle, node});
+  }
+  void EndCycle(std::uint64_t cycle, Rng* /*rng*/) override {
+    sequence.push_back({"end_cycle", cycle, kInvalidUser});
+  }
+
+  struct CommitRecord {
+    UserId node;
+    std::uint64_t cycle;
+    std::uint64_t first_draw;
+    bool operator==(const CommitRecord& o) const {
+      return node == o.node && cycle == o.cycle && first_draw == o.first_draw;
+    }
+  };
+  struct SequenceEntry {
+    std::string what;
+    std::uint64_t cycle;
+    UserId node;
+  };
+
+  std::vector<std::pair<UserId, PlanRecord>> plans;  // harvested per cycle
+  std::vector<CommitRecord> commits;
+  std::vector<SequenceEntry> sequence;
+  std::atomic<int> peak_concurrency{0};
+
+ private:
+  std::vector<PlanRecord> slots_;
+  std::atomic<int> in_plan_{0};
+};
+
+struct RunResult {
+  /// (node, cycle) -> (shard, plan first draw, commit first draw).
+  std::map<std::pair<UserId, std::uint64_t>,
+           std::tuple<std::size_t, std::uint64_t, std::uint64_t>>
+      visits;
+  std::vector<RecordingProtocol::CommitRecord> commits;
+};
+
+RunResult RunRecorded(std::size_t num_nodes, std::uint64_t seed, int threads,
+                      std::uint64_t cycles,
+                      std::function<bool(UserId)> liveness = nullptr) {
+  Engine engine(num_nodes, seed);
+  engine.SetThreads(threads);
+  RecordingProtocol protocol(num_nodes);
+  engine.AddProtocol(&protocol);
+  if (liveness) engine.SetLivenessCheck(std::move(liveness));
+  engine.RunCycles(cycles);
+
+  RunResult result;
+  result.commits = protocol.commits;
+  for (const auto& [node, plan] : protocol.plans) {
+    EXPECT_EQ(plan.visits, 1) << "node " << node << " planned "
+                              << plan.visits << " times in cycle "
+                              << plan.cycle;
+    result.visits[{node, plan.cycle}] = {plan.shard, plan.first_draw, 0};
+  }
+  for (const auto& c : protocol.commits) {
+    auto it = result.visits.find({c.node, c.cycle});
+    EXPECT_NE(it, result.visits.end())
+        << "commit without plan: node " << c.node << " cycle " << c.cycle;
+    if (it != result.visits.end()) std::get<2>(it->second) = c.first_draw;
+  }
+  return result;
+}
+
+TEST(EngineParallelTest, EveryOnlineNodeRunsExactlyOncePerCyclePerProtocol) {
+  constexpr std::size_t kNodes = 97;
+  constexpr std::uint64_t kCycles = 4;
+  const RunResult r = RunRecorded(kNodes, 41, /*threads=*/3, kCycles);
+  EXPECT_EQ(r.visits.size(), kNodes * kCycles);
+  EXPECT_EQ(r.commits.size(), kNodes * kCycles);
+  for (std::uint64_t c = 0; c < kCycles; ++c) {
+    for (UserId u = 0; u < kNodes; ++u) {
+      EXPECT_TRUE(r.visits.count({u, c})) << "node " << u << " cycle " << c;
+    }
+  }
+}
+
+TEST(EngineParallelTest, OfflineNodesAreSkippedInBothPhases) {
+  constexpr std::size_t kNodes = 40;
+  auto liveness = [](UserId u) { return u % 3 != 0; };
+  const RunResult r = RunRecorded(kNodes, 43, /*threads=*/4, 3, liveness);
+  for (const auto& [key, value] : r.visits) {
+    EXPECT_NE(key.first % 3, 0u);
+  }
+  for (const auto& c : r.commits) EXPECT_NE(c.node % 3, 0u);
+  std::size_t online = 0;
+  for (UserId u = 0; u < kNodes; ++u) online += liveness(u) ? 1 : 0;
+  EXPECT_EQ(r.commits.size(), online * 3);
+}
+
+TEST(EngineParallelTest, VisitMultisetAndStreamsIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kNodes = 230;  // several shards, uneven tail
+  const RunResult base = RunRecorded(kNodes, 47, /*threads=*/1, 3);
+  for (int threads : {2, 3, 8}) {
+    const RunResult r = RunRecorded(kNodes, 47, threads, 3);
+    // Same (node, cycle) multiset, same shard assignment, and — the RNG
+    // contract — the same per-(cycle, node) plan and commit streams.
+    EXPECT_EQ(r.visits, base.visits) << threads << " threads";
+    // Commits additionally arrive in the identical (canonical) order.
+    EXPECT_EQ(r.commits, base.commits) << threads << " threads";
+  }
+}
+
+TEST(EngineParallelTest, CommitsAreSequentialAndAscendingUnderThreads) {
+  Engine engine(120, 53);
+  engine.SetThreads(8);
+  RecordingProtocol protocol(120);
+  engine.AddProtocol(&protocol);
+  engine.RunCycles(2);
+  std::uint64_t prev_cycle = ~std::uint64_t{0};
+  std::int64_t prev_node = -1;
+  for (const auto& c : protocol.commits) {
+    if (c.cycle != prev_cycle) {
+      prev_cycle = c.cycle;
+      prev_node = -1;
+    }
+    EXPECT_GT(static_cast<std::int64_t>(c.node), prev_node)
+        << "commit order must ascend within a cycle";
+    prev_node = static_cast<std::int64_t>(c.node);
+  }
+}
+
+TEST(EngineParallelTest, ObserversFireAfterTheBarrierInRegistrationOrder) {
+  Engine engine(10, 59);
+  engine.SetThreads(4);
+  RecordingProtocol protocol(10);
+  engine.AddProtocol(&protocol);
+  std::vector<std::pair<int, std::uint64_t>> observed;
+  engine.AddObserver([&](std::uint64_t c) { observed.emplace_back(1, c); });
+  engine.AddObserver([&](std::uint64_t c) { observed.emplace_back(2, c); });
+  engine.RunCycles(3);
+
+  // Sequence per cycle: begin, end_plan (the barrier), 10 commits,
+  // end_cycle — and only then the observers, in registration order.
+  ASSERT_EQ(protocol.sequence.size(), 3 * (3 + 10));
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    const std::size_t base = c * 13;
+    EXPECT_EQ(protocol.sequence[base].what, "begin");
+    EXPECT_EQ(protocol.sequence[base + 1].what, "end_plan");
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(protocol.sequence[base + 2 + i].what, "commit");
+      EXPECT_EQ(protocol.sequence[base + 2 + i].node, static_cast<UserId>(i));
+    }
+    EXPECT_EQ(protocol.sequence[base + 12].what, "end_cycle");
+  }
+  ASSERT_EQ(observed.size(), 6u);
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(observed[2 * c], (std::pair<int, std::uint64_t>{1, c}));
+    EXPECT_EQ(observed[2 * c + 1], (std::pair<int, std::uint64_t>{2, c}));
+  }
+}
+
+TEST(EngineParallelTest, ShardAssignmentIsContiguousAndThreadIndependent) {
+  constexpr std::size_t kNodes = 500;
+  const RunResult r = RunRecorded(kNodes, 61, /*threads=*/7, 1);
+  std::size_t prev_shard = 0;
+  for (UserId u = 0; u < kNodes; ++u) {
+    const std::size_t shard = std::get<0>(r.visits.at({u, 0}));
+    EXPECT_EQ(shard, Engine::ShardOf(u, kNodes));
+    EXPECT_GE(shard, prev_shard) << "shards must be contiguous node ranges";
+    prev_shard = shard;
+  }
+  EXPECT_LT(prev_shard, kEngineShards);
+}
+
+TEST(EngineParallelTest, ForkStreamIsStableAndDecorrelated) {
+  // Pinned derivation: equal inputs agree, any differing input diverges.
+  Rng a = Engine::ForkStream(1, 2, 3, Engine::kPlanSalt);
+  Rng b = Engine::ForkStream(1, 2, 3, Engine::kPlanSalt);
+  EXPECT_EQ(a(), b());
+  const std::uint64_t base = Engine::ForkStream(1, 2, 3, Engine::kPlanSalt)();
+  EXPECT_NE(Engine::ForkStream(2, 2, 3, Engine::kPlanSalt)(), base);
+  EXPECT_NE(Engine::ForkStream(1, 3, 3, Engine::kPlanSalt)(), base);
+  EXPECT_NE(Engine::ForkStream(1, 2, 4, Engine::kPlanSalt)(), base);
+  EXPECT_NE(Engine::ForkStream(1, 2, 3, Engine::kCommitSalt)(), base);
+}
+
+TEST(EngineParallelTest, PlanPhaseActuallyRunsConcurrently) {
+  // Not a correctness requirement on 1-core machines, but the concurrency
+  // probe must at least never exceed the configured thread count.
+  Engine engine(400, 67);
+  engine.SetThreads(4);
+  RecordingProtocol protocol(400);
+  engine.AddProtocol(&protocol);
+  engine.RunCycles(2);
+  EXPECT_GE(protocol.peak_concurrency.load(), 1);
+  EXPECT_LE(protocol.peak_concurrency.load(), 4);
+}
+
+TEST(EngineParallelTest, ShardTrafficMailboxesMergeDeterministically) {
+  // Record one message per node into the node's shard mailbox from a
+  // multi-threaded plan phase; the merged totals must be exact and the
+  // global counters untouched before the merge.
+  class MailboxProtocol : public CycleProtocol {
+   public:
+    explicit MailboxProtocol(Network* net) : net_(net) {}
+    void PlanCycle(UserId node, const PlanContext& ctx) override {
+      net_->ShardTraffic(ctx.shard)
+          .Record(MessageType::kRandomViewGossip, node + 1);
+    }
+    void EndPlan(std::uint64_t /*cycle*/) override {
+      before_merge_messages_ = net_->metrics().TotalMessages();
+      net_->MergeShardTraffic();
+    }
+    std::uint64_t before_merge_messages_ = 0;
+
+   private:
+    Network* net_;
+  };
+
+  constexpr std::size_t kNodes = 301;
+  Network net(kNodes);
+  Engine engine(kNodes, 71);
+  engine.SetThreads(8);
+  MailboxProtocol protocol(&net);
+  engine.AddProtocol(&protocol);
+  engine.RunCycles(1);
+
+  EXPECT_EQ(protocol.before_merge_messages_, 0u)
+      << "plan traffic must stay in the mailboxes until the barrier";
+  EXPECT_EQ(net.metrics().Of(MessageType::kRandomViewGossip).messages, kNodes);
+  // Σ (node + 1) for node in [0, kNodes)
+  EXPECT_EQ(net.metrics().Of(MessageType::kRandomViewGossip).bytes,
+            kNodes * (kNodes + 1) / 2);
+}
+
+}  // namespace
+}  // namespace p3q

@@ -74,41 +74,63 @@ TEST(NetworkTest, FailRandomFractionOnlyHitsOnline) {
   EXPECT_EQ(net.NumOnline(), 0u);
 }
 
+// A plan/commit protocol recording both phases. Plan writes only the
+// node's private slot (the engine contract); commit appends to the shared
+// log sequentially.
 class CountingProtocol : public CycleProtocol {
  public:
-  void RunCycle(UserId node, std::uint64_t cycle) override {
-    calls.emplace_back(node, cycle);
+  explicit CountingProtocol(std::size_t num_nodes) : planned_(num_nodes) {}
+
+  void PlanCycle(UserId node, const PlanContext& ctx) override {
+    planned_[node].emplace_back(node, ctx.cycle);
   }
-  std::vector<std::pair<UserId, std::uint64_t>> calls;
+  void CommitCycle(UserId node, std::uint64_t cycle, Rng* /*rng*/) override {
+    commits.emplace_back(node, cycle);
+  }
+
+  /// All plan calls, flattened in node order.
+  std::vector<std::pair<UserId, std::uint64_t>> Planned() const {
+    std::vector<std::pair<UserId, std::uint64_t>> out;
+    for (const auto& slot : planned_) {
+      out.insert(out.end(), slot.begin(), slot.end());
+    }
+    return out;
+  }
+
+  std::vector<std::pair<UserId, std::uint64_t>> commits;
+
+ private:
+  std::vector<std::vector<std::pair<UserId, std::uint64_t>>> planned_;
 };
 
 TEST(EngineTest, RunsEveryNodeEveryCycle) {
   Engine engine(4, 7);
-  CountingProtocol protocol;
+  CountingProtocol protocol(4);
   engine.AddProtocol(&protocol);
   engine.RunCycles(3);
-  EXPECT_EQ(protocol.calls.size(), 12u);
+  EXPECT_EQ(protocol.Planned().size(), 12u);
+  EXPECT_EQ(protocol.commits.size(), 12u);
   EXPECT_EQ(engine.CurrentCycle(), 3u);
-  // Each cycle covers all nodes exactly once.
+  // Each cycle covers all nodes exactly once, in both phases.
   for (std::uint64_t c = 0; c < 3; ++c) {
     std::set<UserId> seen;
-    for (const auto& [node, cycle] : protocol.calls) {
+    for (const auto& [node, cycle] : protocol.Planned()) {
       if (cycle == c) seen.insert(node);
     }
     EXPECT_EQ(seen.size(), 4u);
   }
 }
 
-TEST(EngineTest, ShufflesOrderAcrossCycles) {
-  Engine engine(50, 11);
-  CountingProtocol protocol;
+TEST(EngineTest, CommitsInAscendingNodeOrder) {
+  Engine engine(6, 11);
+  CountingProtocol protocol(6);
   engine.AddProtocol(&protocol);
   engine.RunCycles(2);
-  std::vector<UserId> first, second;
-  for (const auto& [node, cycle] : protocol.calls) {
-    (cycle == 0 ? first : second).push_back(node);
+  ASSERT_EQ(protocol.commits.size(), 12u);
+  for (std::size_t i = 0; i < protocol.commits.size(); ++i) {
+    EXPECT_EQ(protocol.commits[i].first, static_cast<UserId>(i % 6));
+    EXPECT_EQ(protocol.commits[i].second, i / 6);
   }
-  EXPECT_NE(first, second);  // astronomically unlikely to match
 }
 
 TEST(EngineTest, ObserversSeeCycleNumbers) {
@@ -121,22 +143,72 @@ TEST(EngineTest, ObserversSeeCycleNumbers) {
 
 TEST(EngineTest, LivenessFilterSkipsNodes) {
   Engine engine(4, 17);
-  CountingProtocol protocol;
+  CountingProtocol protocol(4);
   engine.AddProtocol(&protocol);
   engine.SetLivenessCheck([](UserId u) { return u != 2; });
   engine.RunCycles(2);
-  for (const auto& [node, cycle] : protocol.calls) EXPECT_NE(node, 2u);
-  EXPECT_EQ(protocol.calls.size(), 6u);
+  for (const auto& [node, cycle] : protocol.Planned()) EXPECT_NE(node, 2u);
+  for (const auto& [node, cycle] : protocol.commits) EXPECT_NE(node, 2u);
+  EXPECT_EQ(protocol.Planned().size(), 6u);
+  EXPECT_EQ(protocol.commits.size(), 6u);
 }
 
 TEST(EngineTest, DeterministicForSameSeed) {
-  CountingProtocol p1, p2;
+  CountingProtocol p1(10), p2(10);
   Engine e1(10, 99), e2(10, 99);
   e1.AddProtocol(&p1);
   e2.AddProtocol(&p2);
   e1.RunCycles(5);
   e2.RunCycles(5);
-  EXPECT_EQ(p1.calls, p2.calls);
+  EXPECT_EQ(p1.Planned(), p2.Planned());
+  EXPECT_EQ(p1.commits, p2.commits);
+}
+
+// A protocol that flips a user offline during its commit phase, through the
+// same backing store the engine's liveness callback reads.
+class MidCycleKiller : public CycleProtocol {
+ public:
+  MidCycleKiller(std::vector<char>* online, UserId victim)
+      : online_(online), victim_(victim) {}
+  void PlanCycle(UserId /*node*/, const PlanContext& /*ctx*/) override {}
+  void CommitCycle(UserId node, std::uint64_t /*cycle*/,
+                   Rng* /*rng*/) override {
+    if (node == 0) (*online_)[victim_] = 0;
+  }
+
+ private:
+  std::vector<char>* online_;
+  UserId victim_;
+};
+
+// Regression for the per-protocol liveness re-check: liveness is
+// snapshotted ONCE per cycle, so a node failing mid-cycle is still visited
+// by every protocol pass of that cycle (the old engine re-evaluated the
+// check per protocol per node, so a later pass silently skipped it), and
+// only disappears from the next cycle.
+TEST(EngineTest, LivenessIsSnapshottedOncePerCycle) {
+  std::vector<char> online(4, 1);
+  Engine engine(4, 23);
+  MidCycleKiller killer(&online, /*victim=*/2);
+  CountingProtocol witness(4);  // registered AFTER the killer
+  engine.AddProtocol(&killer);
+  engine.AddProtocol(&witness);
+  engine.SetLivenessCheck([&online](UserId u) { return online[u] != 0; });
+
+  engine.RunCycles(1);
+  // The victim failed during the killer's commit (node 0 < victim 2), yet
+  // the witness pass of the same cycle still planned and committed it.
+  std::set<UserId> cycle0;
+  for (const auto& [node, cycle] : witness.commits) cycle0.insert(node);
+  EXPECT_TRUE(cycle0.count(2)) << "mid-cycle failure leaked into the "
+                                  "same cycle's later protocol pass";
+
+  engine.RunCycles(1);
+  for (const auto& [node, cycle] : witness.commits) {
+    if (cycle == 1) {
+      EXPECT_NE(node, 2u) << "next cycle must skip the victim";
+    }
+  }
 }
 
 }  // namespace

@@ -48,6 +48,7 @@ struct Options {
   double departure = 0;
   bool apply_updates = false;
   std::uint64_t seed = 1;
+  int threads = 0;  // 0 = inherit the P3Q_THREADS environment default
   std::string trace_path;
   bool help = false;
   // Scenario engine.
@@ -75,6 +76,8 @@ void PrintUsage() {
       "  --departure=X      fraction of users leaving before queries (0)\n"
       "  --updates          apply a profile-update batch before queries\n"
       "  --seed=N           master seed (1)\n"
+      "  --threads=N        plan-phase worker threads (default: P3Q_THREADS\n"
+      "                     env or 1); results are byte-identical for every N\n"
       "\nScenario engine (timeline-driven workloads):\n"
       "  --list-scenarios   print the built-in scenarios and exit\n"
       "  --scenario=NAME    run a named scenario timeline instead of the\n"
@@ -134,6 +137,8 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.apply_updates = true;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      opt.threads = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--scenario", &value)) {
       opt.scenario = value;
     } else if (ParseFlag(argv[i], "--list-scenarios", &value)) {
@@ -163,6 +168,10 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     std::cerr << "--cycle-scale must be > 0\n";
     return std::nullopt;
   }
+  if (opt.threads < 0) {
+    std::cerr << "--threads must be >= 0 (0 = inherit P3Q_THREADS)\n";
+    return std::nullopt;
+  }
   if (!opt.scenario.empty() && !p3q::HasScenario(opt.scenario)) {
     std::cerr << "unknown scenario: " << opt.scenario
               << " (see --list-scenarios)\n";
@@ -187,6 +196,7 @@ int RunScenarioMode(const Options& opt) {
   options.stored_profiles = opt.stored;
   options.alpha = opt.alpha;
   options.top_k = opt.top_k;
+  options.threads = opt.threads;
 
   const Scenario scenario = MakeScenario(opt.scenario);
   std::cout << "scenario: " << scenario.name << " — " << scenario.description
@@ -322,6 +332,7 @@ int main(int argc, char** argv) {
     std::cout << "storage: uniform c = " << config.stored_profiles << "\n";
   }
   P3QSystem system(dataset, config, per_user_c, opt.seed);
+  if (opt.threads > 0) system.SetThreads(opt.threads);
   system.BootstrapRandomViews();
 
   // --- lazy convergence ---
