@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""CI perf-trajectory harness.
+
+Runs the steady-state and lagged-steady scenarios with --timing, measures
+cycles-to-convergence with and without delivery latency, and emits:
+
+  * BENCH_pr.json        — the run's structured perf snapshot (throughput,
+                           cycles-to-convergence, delivery-lag p50/p95);
+  * bench-trajectory.csv — one appended row per measurement, tagged with the
+                           git SHA, so artifact history forms a trajectory;
+  * an exit status       — non-zero when cycles-to-convergence regressed
+                           more than --regression-threshold (default 10%)
+                           against the checked-in BENCH_baseline.json.
+
+Convergence cycle counts are deterministic in (users, seed, latency) and
+thread-count independent (the engine's ForkStream contract), which is what
+makes a checked-in integer baseline gateable. Wall-clock throughput is
+recorded for the trajectory but never gated — it depends on the runner.
+
+Stdlib only; no dependencies beyond python3 and the p3q_sim binary.
+"""
+
+import argparse
+import csv
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+SCENARIOS = ["steady-state", "lagged-steady"]
+CONVERGENCE_MODELS = ["zero", "fixed:2"]
+
+
+def run_sim(sim, args):
+    cmd = [sim] + args
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(f"FAILED: {' '.join(cmd)}\n{result.stdout}{result.stderr}\n")
+        sys.exit(2)
+    return result.stdout
+
+
+def measure_scenario(sim, name, users, seed):
+    """Runs one scenario with --timing and returns its perf snapshot."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        run_sim(sim, [f"--scenario={name}", f"--users={users}", f"--seed={seed}",
+                      "--timing", f"--json={json_path}"])
+        with open(json_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(json_path)
+
+    totals = report["totals"]
+    timing = totals["timing"]
+    snapshot = {
+        "cycles": totals["cycles"],
+        "queries_issued": totals["queries"]["issued"],
+        "queries_completed": totals["queries"]["completed"],
+        "total_messages": totals["traffic"]["total"]["messages"],
+        "total_bytes": totals["traffic"]["total"]["bytes"],
+        "threads": timing["threads"],
+        "wall_seconds": timing["wall_seconds"],
+        "cycles_per_sec": timing["cycles_per_sec"],
+        "user_cycles_per_sec": timing["user_cycles_per_sec"],
+    }
+    delivery = totals.get("delivery")
+    if delivery is not None:
+        snapshot["latency_model"] = report.get("latency", "zero")
+        snapshot["delivery_lag_p50"] = delivery["lag_p50"]
+        snapshot["delivery_lag_p95"] = delivery["lag_p95"]
+        snapshot["delivery_dropped"] = delivery["dropped"]
+        snapshot["delivery_max_in_flight"] = delivery["max_in_flight"]
+    return snapshot
+
+
+def measure_convergence(sim, model, users, seed, target, budget):
+    """cycles_to_convergence for one latency model (deterministic)."""
+    args = [f"--users={users}", f"--seed={seed}", f"--converge={target}",
+            f"--lazy-cycles={budget}", "--queries=0"]
+    if model != "zero":
+        args.append(f"--latency={model}")
+    out = run_sim(sim, args)
+    match = re.search(r"cycles_to_convergence:\s*(-?\d+)", out)
+    if match is None:
+        sys.stderr.write(f"no cycles_to_convergence in output:\n{out}\n")
+        sys.exit(2)
+    return int(match.group(1))
+
+
+def append_trajectory(path, sha, bench):
+    fields = ["git_sha", "kind", "name", "users", "seed", "threads", "cycles",
+              "total_messages", "total_bytes", "cycles_per_sec",
+              "user_cycles_per_sec", "lag_p50", "lag_p95", "dropped",
+              "cycles_to_convergence"]
+    new_file = not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, "a", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=fields)
+        if new_file:
+            writer.writeheader()
+        for name, s in bench["scenarios"].items():
+            writer.writerow({
+                "git_sha": sha, "kind": "scenario", "name": name,
+                "users": bench["users"], "seed": bench["seed"],
+                "threads": s["threads"], "cycles": s["cycles"],
+                "total_messages": s["total_messages"],
+                "total_bytes": s["total_bytes"],
+                "cycles_per_sec": s["cycles_per_sec"],
+                "user_cycles_per_sec": s["user_cycles_per_sec"],
+                "lag_p50": s.get("delivery_lag_p50", ""),
+                "lag_p95": s.get("delivery_lag_p95", ""),
+                "dropped": s.get("delivery_dropped", ""),
+                "cycles_to_convergence": "",
+            })
+        for model, cycles in bench["convergence"].items():
+            writer.writerow({
+                "git_sha": sha, "kind": "convergence", "name": model,
+                "users": bench["users"], "seed": bench["seed"],
+                "cycles_to_convergence": cycles,
+            })
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sim", required=True, help="path to p3q_sim")
+    parser.add_argument("--baseline", default="BENCH_baseline.json")
+    parser.add_argument("--out", default="BENCH_pr.json")
+    parser.add_argument("--trajectory", default="bench-trajectory.csv")
+    parser.add_argument("--regression-threshold", type=float, default=0.10,
+                        help="allowed fractional cycles-to-convergence "
+                             "regression (default 0.10)")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write the measured convergence numbers as a new "
+                             "baseline to PATH and skip the gate")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    users = baseline["users"]
+    seed = baseline["seed"]
+    target = baseline["convergence_target"]
+    budget = baseline["lazy_cycle_budget"]
+    sha = os.environ.get("GITHUB_SHA", "local")
+
+    bench = {
+        "git_sha": sha,
+        "users": users,
+        "seed": seed,
+        "convergence_target": target,
+        "scenarios": {},
+        "convergence": {},
+    }
+    for name in SCENARIOS:
+        print(f"running scenario {name} at {users} users ...", flush=True)
+        bench["scenarios"][name] = measure_scenario(args.sim, name, users, seed)
+    for model in CONVERGENCE_MODELS:
+        print(f"measuring cycles-to-convergence under {model} ...", flush=True)
+        bench["convergence"][model] = measure_convergence(
+            args.sim, model, users, seed, target, budget)
+
+    with open(args.out, "w") as f:
+        json.dump(bench, f, indent=2)
+        f.write("\n")
+    append_trajectory(args.trajectory, sha, bench)
+    print(f"wrote {args.out} and appended to {args.trajectory}")
+
+    if args.write_baseline:
+        new_baseline = dict(baseline)
+        new_baseline["convergence"] = bench["convergence"]
+        with open(args.write_baseline, "w") as f:
+            json.dump(new_baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote new baseline to {args.write_baseline}")
+        return 0
+
+    # The gate: cycles-to-convergence must not regress beyond the threshold.
+    failures = []
+    for model, base_cycles in baseline["convergence"].items():
+        measured = bench["convergence"].get(model)
+        limit = base_cycles * (1.0 + args.regression_threshold)
+        status = "ok"
+        if measured is None or measured < 0:
+            status = "NEVER CONVERGED"
+            failures.append(model)
+        elif measured > limit:
+            status = f"REGRESSED (limit {limit:.1f})"
+            failures.append(model)
+        print(f"convergence[{model}]: baseline {base_cycles}, "
+              f"measured {measured} -> {status}")
+    if failures:
+        print(f"perf gate FAILED for: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,11 @@ struct P3QConfig {
   int digest_hashes = 10;
   /// Attempts to find an online gossip partner before skipping a cycle.
   int offline_retry = 3;
+  /// Cycles an eager task waits for an in-flight gossip's reply before it
+  /// assumes the message lost and re-issues (superseding the old one).
+  /// Should exceed the latency model's typical delay, or every hop is
+  /// re-sent while still in flight.
+  int eager_retry_cycles = 4;
   /// Lazy-mode period in seconds (paper: 60 s) — used only to convert cycle
   /// counts into wall-clock/bandwidth figures.
   double lazy_period_seconds = 60.0;

@@ -18,8 +18,7 @@ std::size_t ForwardBytes(const EagerTask& task) {
 
 }  // namespace
 
-EagerProtocol::EagerProtocol(P3QSystem* system)
-    : system_(system), plans_(system->NumUsers()) {}
+EagerProtocol::EagerProtocol(P3QSystem* system) : system_(system) {}
 
 PartialResultMessage EagerProtocol::BuildPartialResult(
     const std::vector<ProfilePtr>& profiles, const std::vector<UserId>& owners,
@@ -69,6 +68,7 @@ std::uint64_t EagerProtocol::IssueQuery(const QuerySpec& spec) {
     task.querier = spec.querier;
     task.tags = spec.tags;
     task.remaining = std::move(remaining);
+    task.epoch = next_epoch_++;
     querier.tasks().emplace(id, std::move(task));
     state.active_tasks = 1;
   }
@@ -118,15 +118,18 @@ UserId EagerProtocol::SelectDestination(const P3QNode* initiator,
   return kInvalidUser;
 }
 
-void EagerProtocol::PlanGossip(const P3QNode* node, const EagerTask& task,
-                               const PlanContext& ctx, NodePlan* plan) {
+bool EagerProtocol::PlanGossip(const P3QNode* node, const EagerTask& task,
+                               const PlanContext& ctx,
+                               TaskGossipMessage* message) {
   const UserId dest_id = SelectDestination(node, task, ctx.rng);
-  if (dest_id == kInvalidUser) return;  // every candidate offline: stall
+  if (dest_id == kInvalidUser) return false;  // every candidate offline: stall
   const P3QNode* dest = &system_->node(dest_id);
 
   PlannedGossip g;
   g.query_id = task.query_id;
   g.dest = dest_id;
+  g.epoch = task.epoch;
+  g.generation = task.generation;
   g.consumed = task.remaining.size();
   g.fwd_bytes = ForwardBytes(task);
 
@@ -161,11 +164,22 @@ void EagerProtocol::PlanGossip(const P3QNode* node, const EagerTask& task,
 
   // The piggybacked lazy-style maintenance (Algorithm 3 lines 6, 12, 24):
   // planned here (the expensive screening), committed with the gossip.
-  g.exchange =
-      LazyProtocol::PlanProfileExchange(system_, node->id(), dest_id, ctx.rng,
-                                        &system_->network().ShardTraffic(
-                                            ctx.shard));
-  plan->gossips.push_back(std::move(g));
+  Metrics& traffic = system_->network().ShardTraffic(ctx.shard);
+  g.exchange = LazyProtocol::PlanProfileExchange(system_, node->id(), dest_id,
+                                                ctx.rng, &traffic);
+
+  // Wire costs are recorded at SEND time, like all plan-phase traffic: a
+  // message that is later dropped or discarded as stale still burned the
+  // bandwidth. (The querier-side QueryTraffic bookkeeping stays at commit
+  // time — it counts what the querier actually received.)
+  traffic.Record(MessageType::kEagerQueryForward, g.fwd_bytes);
+  traffic.Record(MessageType::kEagerQueryReturn,
+                 g.returned.size() * kBytesPerUserId + kBytesPerUserId);
+  if (g.has_partial) {
+    traffic.Record(MessageType::kPartialResult, g.partial.WireBytes());
+  }
+  message->gossips.push_back(std::move(g));
+  return true;
 }
 
 void EagerProtocol::BeginCycle(std::uint64_t /*cycle*/) {
@@ -181,41 +195,76 @@ bool EagerProtocol::ActiveInCycle(UserId node) const {
 }
 
 void EagerProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
-  NodePlan& plan = plans_[node_id];
-  plan = NodePlan{};
-  const P3QNode& node = system_->node(node_id);
+  // The node's own tasks are owner-private plan state (like the probe memo
+  // in the lazy mode): only this node's shard thread touches them here.
+  P3QNode& node = system_->node(node_id);
   if (node.tasks().empty()) return;
-  plan.active = true;
 
   // Every non-empty task this node holds gossips once per cycle, in
-  // query-id order (tasks created during this cycle act from the next one).
+  // query-id order (tasks created during this cycle act from the next one)
+  // — unless a gossip of the task is still in flight, in which case the
+  // owner waits for the reply until the re-issue deadline passes.
   std::vector<std::uint64_t> qids;
   qids.reserve(node.tasks().size());
   for (const auto& [qid, task] : node.tasks()) {
     if (!task.remaining.empty()) qids.push_back(qid);
   }
   std::sort(qids.begin(), qids.end());
+
+  auto message = std::make_unique<TaskGossipMessage>();
   for (const std::uint64_t qid : qids) {
-    PlanGossip(&node, node.tasks().at(qid), ctx, &plan);
+    EagerTask& task = node.tasks().at(qid);
+    if (task.in_flight) {
+      if (ctx.cycle < task.in_flight_until) continue;  // awaiting the reply
+      // Deadline passed: assume the message lost, supersede it (a late
+      // arrival with the old generation is discarded) and re-issue.
+      ++task.generation;
+      task.in_flight = false;
+      ++shard_reissues_[ctx.shard];
+    }
+    if (PlanGossip(&node, task, ctx, message.get())) {
+      task.in_flight = true;
+      task.in_flight_until = ctx.cycle + 1 +
+                             static_cast<std::uint64_t>(
+                                 system_->config().eager_retry_cycles);
+    }
   }
+  if (!message->gossips.empty()) ctx.Send(std::move(message));
 }
 
 void EagerProtocol::EndPlan(std::uint64_t /*cycle*/) {
   system_->network().MergeShardTraffic();
+  for (std::uint64_t& reissues : shard_reissues_) {
+    timeout_reissues_ += reissues;
+    reissues = 0;
+  }
 }
 
 void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
-  Network& net = system_->network();
-  auto it = node->tasks().find(g->query_id);
-  if (it == node->tasks().end()) return;
+  const auto state_it = state_.find(g->query_id);
+  if (state_it == state_.end()) {
+    // The querier's state was forgotten while the gossip was in flight.
+    ++stale_messages_dropped_;
+    return;
+  }
+  const auto it = node->tasks().find(g->query_id);
+  if (it == node->tasks().end() || it->second.epoch != g->epoch ||
+      it->second.generation != g->generation) {
+    // The task this gossip belonged to is gone: a timeout re-issue
+    // superseded it, it completed, or it died and was recreated from
+    // another sender's kept portion (fresh epoch). Discard so nothing is
+    // double-applied against the wrong incarnation.
+    ++stale_messages_dropped_;
+    return;
+  }
   EagerTask& task = it->second;
-  QueryState& state = state_.at(g->query_id);
+  task.in_flight = false;  // the reply arrived; the task may gossip again
+  QueryState& state = state_it->second;
 
   participants_.insert(node->id());
   participants_.insert(g->dest);
 
-  // Forward Q and the remaining list.
-  net.RecordMessage(MessageType::kEagerQueryForward, g->fwd_bytes);
+  // Forward Q and the remaining list (wire cost was paid at send time).
   state.query->traffic().forwarded_list_bytes += g->fwd_bytes;
   state.query->traffic().forward_messages += 1;
   state.reached.insert(g->dest);
@@ -223,7 +272,6 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
   // The destination's share of the query.
   if (g->has_partial) {
     const std::size_t bytes = g->partial.WireBytes();
-    net.RecordMessage(MessageType::kPartialResult, bytes);
     state.query->traffic().partial_result_bytes += bytes;
     state.query->traffic().partial_result_messages += 1;
     state.query->DeliverPartialResult(std::move(g->partial));
@@ -237,6 +285,7 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
       dit->second.query_id = g->query_id;
       dit->second.querier = task.querier;
       dit->second.tags = task.tags;
+      dit->second.epoch = next_epoch_++;
       ++state.active_tasks;
     }
     dit->second.remaining.insert(dit->second.remaining.end(), g->kept.begin(),
@@ -245,16 +294,18 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
 
   // The returned portion replaces the consumed entries of this node's task.
   // Entries other commits appended after planning are preserved — only
-  // appends can have happened, so they form the tail past `consumed`.
+  // appends can have happened to this incarnation (the epoch/generation
+  // gate above rules everything else out), so they form the tail past
+  // `consumed`.
   const std::size_t ret_bytes =
       g->returned.size() * kBytesPerUserId + kBytesPerUserId;
-  net.RecordMessage(MessageType::kEagerQueryReturn, ret_bytes);
   state.query->traffic().returned_list_bytes += ret_bytes;
   state.query->traffic().return_messages += 1;
   std::vector<UserId> merged = std::move(g->returned);
   merged.insert(merged.end(),
                 task.remaining.begin() +
-                    static_cast<std::ptrdiff_t>(g->consumed),
+                    static_cast<std::ptrdiff_t>(
+                        std::min(g->consumed, task.remaining.size())),
                 task.remaining.end());
   task.remaining = std::move(merged);
 
@@ -270,13 +321,12 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
   }
 }
 
-void EagerProtocol::CommitCycle(UserId node_id, std::uint64_t /*cycle*/,
-                                Rng* /*rng*/) {
-  NodePlan& plan = plans_[node_id];
-  if (!plan.active) return;
-  P3QNode* node = &system_->node(node_id);
-  for (PlannedGossip& g : plan.gossips) CommitGossip(node, &g);
-  plan = NodePlan{};  // release the buffered effects
+void EagerProtocol::CommitMessage(UserId sender, std::uint64_t /*send_cycle*/,
+                                  std::uint64_t /*cycle*/,
+                                  DeliveryMessage& message, Rng* /*rng*/) {
+  auto& msg = static_cast<TaskGossipMessage&>(message);
+  P3QNode* node = &system_->node(sender);
+  for (PlannedGossip& g : msg.gossips) CommitGossip(node, &g);
 }
 
 void EagerProtocol::EndCycle(std::uint64_t /*cycle*/, Rng* rng) {
@@ -318,8 +368,19 @@ std::vector<std::uint64_t> EagerProtocol::AllQueryIds() const {
   return ids;
 }
 
+std::uint64_t EagerProtocol::late_partial_results_dropped() const {
+  std::uint64_t total = forgotten_late_results_;
+  for (const auto& [qid, state] : state_) {
+    total += state.query->late_results_dropped();
+  }
+  return total;
+}
+
 void EagerProtocol::Forget(std::uint64_t id) {
-  for (UserId u : state_.at(id).reached) {
+  QueryState& state = state_.at(id);
+  // Keep the drop total monotone across Forget (phase deltas subtract).
+  forgotten_late_results_ += state.query->late_results_dropped();
+  for (UserId u : state.reached) {
     system_->node(u).tasks().erase(id);
   }
   state_.erase(id);

@@ -14,15 +14,26 @@
 // Under the engine's plan/commit contract: PlanCycle (parallel) selects the
 // destination, prunes against the destination's frozen replicas, computes
 // the partial result (the expensive per-profile scoring) and splits the
-// list — all from the node's private forked stream; CommitCycle
-// (sequential, ascending node order) applies the task/traffic/query-state
-// effects, merge-aware so a list portion another commit appended to this
-// node's task in the same cycle is never lost. EndCycle runs the wave of
-// refreshments over this cycle's participants and closes the queriers'
-// cycle snapshots.
+// list — all from the node's private forked stream — and packages the
+// cycle's gossips as one self-contained message to the delivery layer.
+// CommitMessage (sequential, delivery order) applies the
+// task/traffic/query-state effects when the message arrives, merge-aware so
+// a list portion another commit appended to this node's task after planning
+// is never lost. EndCycle runs the wave of refreshments over this cycle's
+// participants and closes the queriers' cycle snapshots.
+//
+// Under a lagging or lossy latency model a task's gossip can be in flight
+// for several cycles, so each task gossips at most once concurrently: the
+// owner marks it in flight at plan time and waits eager_retry_cycles for
+// the reply; past that deadline it bumps the task's generation (stamped
+// into every planned gossip) and re-issues from the current list. A
+// superseded or orphaned message that still arrives is counted and dropped
+// — nothing is double-applied, and lost messages cost only the retry wait
+// because the consumed list entries stay with the owner until commit.
 #ifndef P3Q_CORE_EAGER_PROTOCOL_H_
 #define P3Q_CORE_EAGER_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -57,7 +68,10 @@ class EagerProtocol : public CycleProtocol {
   bool ActiveInCycle(UserId node) const override;
   void PlanCycle(UserId node, const PlanContext& ctx) override;
   void EndPlan(std::uint64_t cycle) override;
-  void CommitCycle(UserId node, std::uint64_t cycle, Rng* rng) override;
+  bool UsesPerNodeCommit() const override { return false; }
+  void CommitMessage(UserId sender, std::uint64_t send_cycle,
+                     std::uint64_t cycle, DeliveryMessage& message,
+                     Rng* rng) override;
   void EndCycle(std::uint64_t cycle, Rng* rng) override;
 
   ActiveQuery& query(std::uint64_t id) { return *state_.at(id).query; }
@@ -77,8 +91,23 @@ class EagerProtocol : public CycleProtocol {
 
   std::vector<std::uint64_t> AllQueryIds() const;
 
-  /// Releases all state of a query (long parameter sweeps).
+  /// Releases all state of a query (long parameter sweeps). Messages of the
+  /// query still in flight are counted and dropped when they arrive.
   void Forget(std::uint64_t id);
+
+  /// Delivered gossips discarded because a timeout re-issue superseded them
+  /// or their query state was already forgotten.
+  std::uint64_t stale_messages_dropped() const {
+    return stale_messages_dropped_;
+  }
+
+  /// Task gossips re-issued after the in-flight deadline passed (lost or
+  /// hopelessly late messages).
+  std::uint64_t timeout_reissues() const { return timeout_reissues_; }
+
+  /// Partial results that reached their querier after finalization and
+  /// were dropped, summed over live and forgotten queries (monotone).
+  std::uint64_t late_partial_results_dropped() const;
 
  private:
   struct QueryState {
@@ -93,6 +122,12 @@ class EagerProtocol : public CycleProtocol {
   struct PlannedGossip {
     std::uint64_t query_id = 0;
     UserId dest = kInvalidUser;
+    /// Task (incarnation, generation) at plan time; any mismatch at
+    /// delivery means the task was superseded — by a timeout re-issue, or
+    /// by dying and being recreated from another sender's kept portion —
+    /// and the gossip must be discarded.
+    std::uint64_t epoch = 0;
+    std::uint32_t generation = 0;
     /// Entries of the task's remaining list consumed by this gossip; at
     /// commit they are replaced by `returned` while entries appended to the
     /// task after planning are preserved.
@@ -105,8 +140,9 @@ class EagerProtocol : public CycleProtocol {
     ProfileExchangePlan exchange;  ///< piggybacked maintenance
   };
 
-  struct NodePlan {
-    bool active = false;
+  /// One cycle's gossips of one node, travelling through the delivery
+  /// layer as a self-contained message.
+  struct TaskGossipMessage : DeliveryMessage {
     std::vector<PlannedGossip> gossips;  ///< one per task, query-id order
   };
 
@@ -116,11 +152,12 @@ class EagerProtocol : public CycleProtocol {
   UserId SelectDestination(const P3QNode* initiator, const EagerTask& task,
                            Rng* rng);
 
-  /// Plans one gossip of `task` from `node` (Algorithm 3 both roles).
-  void PlanGossip(const P3QNode* node, const EagerTask& task,
-                  const PlanContext& ctx, NodePlan* plan);
+  /// Plans one gossip of `task` from `node` (Algorithm 3 both roles);
+  /// returns true when a gossip was appended to `message`.
+  bool PlanGossip(const P3QNode* node, const EagerTask& task,
+                  const PlanContext& ctx, TaskGossipMessage* message);
 
-  /// Applies one planned gossip at commit time.
+  /// Applies one delivered gossip at commit time.
   void CommitGossip(P3QNode* node, PlannedGossip* gossip);
 
   /// Sums Score_{u,Q}(i) over the given profiles into a ranked list.
@@ -133,8 +170,16 @@ class EagerProtocol : public CycleProtocol {
   /// Users who took part in query gossip during the current cycle; each
   /// runs one maintenance exchange at the end of the cycle.
   std::unordered_set<UserId> participants_;
-  std::vector<NodePlan> plans_;  ///< per-node effect slots
+  /// Timeout re-issues decided on plan threads, folded at the barrier (the
+  /// same per-shard mailbox discipline as Network::ShardTraffic).
+  std::array<std::uint64_t, kEngineShards> shard_reissues_{};
+  std::uint64_t timeout_reissues_ = 0;
+  std::uint64_t stale_messages_dropped_ = 0;
+  /// Late-partial-result drops of already-forgotten queries (folded in by
+  /// Forget so the system-wide total stays monotone).
+  std::uint64_t forgotten_late_results_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t next_epoch_ = 1;  ///< unique EagerTask incarnation ids
 };
 
 }  // namespace p3q

@@ -1,6 +1,8 @@
 #include "core/lazy_protocol.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "core/p3q_system.h"
 
@@ -138,8 +140,7 @@ void CommitReplicaFill(P3QSystem* system, P3QNode* receiver,
 
 }  // namespace
 
-LazyProtocol::LazyProtocol(P3QSystem* system)
-    : system_(system), plans_(system->NumUsers()) {}
+LazyProtocol::LazyProtocol(P3QSystem* system) : system_(system) {}
 
 ProfileExchangePlan LazyProtocol::PlanProfileExchange(P3QSystem* system,
                                                       UserId a, UserId b,
@@ -179,7 +180,7 @@ void LazyProtocol::RunProfileExchange(P3QSystem* system, UserId a, UserId b,
 }
 
 void LazyProtocol::PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
-                                   NodePlan* plan) {
+                                   GossipMessage* plan) {
   const Network& net = system_->network();
   Metrics& traffic = system_->network().ShardTraffic(ctx.shard);
 
@@ -236,7 +237,7 @@ void LazyProtocol::PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
 }
 
 void LazyProtocol::PlanTopLayer(P3QNode* node, const PlanContext& ctx,
-                                NodePlan* plan) {
+                                GossipMessage* plan) {
   const Network& net = system_->network();
   std::vector<UserId> skip;
   for (int attempt = 0; attempt <= system_->config().offline_retry; ++attempt) {
@@ -254,25 +255,24 @@ void LazyProtocol::PlanTopLayer(P3QNode* node, const PlanContext& ctx,
 }
 
 void LazyProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
-  NodePlan& plan = plans_[node_id];
-  plan = NodePlan{};
-  plan.active = true;
+  auto plan = std::make_unique<GossipMessage>();
   P3QNode* node = &system_->node(node_id);
   if (system_->config().enable_bottom_layer) {
-    PlanBottomLayer(node, ctx, &plan);
+    PlanBottomLayer(node, ctx, plan.get());
   }
-  PlanTopLayer(node, ctx, &plan);
+  PlanTopLayer(node, ctx, plan.get());
+  if (!plan->Empty()) ctx.Send(std::move(plan));
 }
 
 void LazyProtocol::EndPlan(std::uint64_t /*cycle*/) {
   system_->network().MergeShardTraffic();
 }
 
-void LazyProtocol::CommitCycle(UserId node_id, std::uint64_t /*cycle*/,
-                               Rng* rng) {
-  NodePlan& plan = plans_[node_id];
-  if (!plan.active) return;
-  P3QNode* node = &system_->node(node_id);
+void LazyProtocol::CommitMessage(UserId sender, std::uint64_t /*send_cycle*/,
+                                 std::uint64_t /*cycle*/,
+                                 DeliveryMessage& message, Rng* rng) {
+  auto& plan = static_cast<GossipMessage&>(message);
+  P3QNode* node = &system_->node(sender);
 
   // Bottom layer: drop unresponsive peers, then both sides of the shuffle
   // keep a random subset of the union (the peer's merge chains after any
@@ -287,15 +287,16 @@ void LazyProtocol::CommitCycle(UserId node_id, std::uint64_t /*cycle*/,
                              probe.digest.snapshot);
   }
 
-  // Top layer: the 3-step exchange plus timestamp bookkeeping.
+  // Top layer: the 3-step exchange plus timestamp bookkeeping. When the
+  // message lagged, the exchange commits against the partner's *current*
+  // state — CommitOffers/CommitReplicaFill tolerate that by versioned
+  // Consider, so a stale offer simply loses.
   if (plan.exchange.Planned()) {
     const UserId dest = plan.exchange.b;
     CommitProfileExchange(system_, plan.exchange);
     node->network().TouchGossiped(dest);
-    system_->node(dest).network().ResetTimestamp(node_id);
+    system_->node(dest).network().ResetTimestamp(sender);
   }
-
-  plan = NodePlan{};  // release the buffered effects
 }
 
 }  // namespace p3q

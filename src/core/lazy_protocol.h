@@ -68,16 +68,23 @@ class LazyProtocol : public CycleProtocol {
   explicit LazyProtocol(P3QSystem* system);
 
   /// Parallel phase: bottom-layer peer choice + probing and top-layer
-  /// screening/scoring against frozen state; effects land in this node's
-  /// slot, traffic in the shard mailbox.
+  /// screening/scoring against frozen state; the decisions are packaged as
+  /// one self-contained message per node and handed to the delivery layer
+  /// (traffic lands in the shard mailbox at send time).
   void PlanCycle(UserId node, const PlanContext& ctx) override;
 
   /// Barrier: folds the per-shard traffic mailboxes into the metrics.
   void EndPlan(std::uint64_t cycle) override;
 
-  /// Sequential commit of the buffered effects (view merges, offers,
-  /// replica fills, timestamps).
-  void CommitCycle(UserId node, std::uint64_t cycle, Rng* rng) override;
+  /// All commit work arrives as messages.
+  bool UsesPerNodeCommit() const override { return false; }
+
+  /// Sequential commit of one delivered gossip message (view merges,
+  /// offers, replica fills, timestamps). Under the default ZeroLatency the
+  /// message arrives at the same cycle's barrier — the classic semantics.
+  void CommitMessage(UserId sender, std::uint64_t send_cycle,
+                     std::uint64_t cycle, DeliveryMessage& message,
+                     Rng* rng) override;
 
   /// The top-layer profile exchange between two online users a and b (both
   /// directions), planned and committed immediately — the sequential
@@ -108,9 +115,9 @@ class LazyProtocol : public CycleProtocol {
     DigestInfo digest;
   };
 
-  /// Everything PlanCycle buffers for one node.
-  struct NodePlan {
-    bool active = false;
+  /// One cycle's planned effects of one node, travelling as a
+  /// self-contained message through the delivery layer.
+  struct GossipMessage : DeliveryMessage {
     // Bottom layer.
     std::vector<UserId> view_removals;  ///< unresponsive peers to drop
     UserId bottom_peer = kInvalidUser;
@@ -119,13 +126,19 @@ class LazyProtocol : public CycleProtocol {
     std::vector<PlannedProbe> probes;
     // Top layer.
     ProfileExchangePlan exchange;
+
+    bool Empty() const {
+      return view_removals.empty() && bottom_peer == kInvalidUser &&
+             probes.empty() && !exchange.Planned();
+    }
   };
 
-  void PlanBottomLayer(P3QNode* node, const PlanContext& ctx, NodePlan* plan);
-  void PlanTopLayer(P3QNode* node, const PlanContext& ctx, NodePlan* plan);
+  void PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
+                       GossipMessage* plan);
+  void PlanTopLayer(P3QNode* node, const PlanContext& ctx,
+                    GossipMessage* plan);
 
   P3QSystem* system_;
-  std::vector<NodePlan> plans_;  ///< per-node effect slots
 };
 
 }  // namespace p3q

@@ -48,6 +48,32 @@ void P3QSystem::SetThreads(int threads) {
   eager_engine_.SetThreads(threads);
 }
 
+void P3QSystem::SetLatency(const LatencySpec& spec) {
+  if (const std::string problem = spec.Validate(); !problem.empty()) {
+    throw std::invalid_argument("LatencySpec: " + problem);
+  }
+  latency_spec_ = spec;
+  // One shared model drives both engines; each engine keeps its own queue.
+  std::shared_ptr<const LatencyModel> model = MakeLatencyModel(spec);
+  engine_.SetLatencyModel(model);
+  eager_engine_.SetLatencyModel(std::move(model));
+}
+
+DeliveryStats P3QSystem::DeliveryStatsTotal() const {
+  DeliveryStats total = engine_.DeliveryStatsTotal();
+  total.MergeFrom(eager_engine_.DeliveryStatsTotal());
+  // Both protocol-level counts are monotone (Forget folds a dying query's
+  // drops into the protocol total), so snapshot-then-Since phase deltas
+  // never underflow.
+  total.stale_dropped += eager_->stale_messages_dropped();
+  total.stale_dropped += eager_->late_partial_results_dropped();
+  return total;
+}
+
+std::size_t P3QSystem::MessagesInFlight() const {
+  return engine_.MessagesInFlight() + eager_engine_.MessagesInFlight();
+}
+
 P3QSystem::~P3QSystem() = default;
 
 void P3QSystem::BootstrapRandomViews() {

@@ -31,6 +31,7 @@
 #include "dataset/dataset.h"
 #include "dataset/update_batch.h"
 #include "profile/profile_store.h"
+#include "sim/delivery.h"
 #include "sim/engine.h"
 #include "sim/network.h"
 
@@ -68,6 +69,23 @@ class P3QSystem {
   /// comes from the P3Q_THREADS environment variable (default 1).
   void SetThreads(int threads);
   int threads() const { return engine_.threads(); }
+
+  /// Installs the latency model governing message delivery on both engines
+  /// (sim/delivery.h). The default ZeroLatency commits every planned effect
+  /// at its own cycle's barrier, byte-identical to the synchronous engine;
+  /// non-zero models put planned effects in flight for whole cycles.
+  /// Results stay byte-identical across thread counts for every model.
+  /// Throws std::invalid_argument when the spec fails Validate().
+  void SetLatency(const LatencySpec& spec);
+  const LatencySpec& latency() const { return latency_spec_; }
+
+  /// Merged delivery counters of both engines; stale_dropped additionally
+  /// folds in the eager protocol's superseded-gossip drops and the
+  /// queriers' late-partial-result drops.
+  DeliveryStats DeliveryStatsTotal() const;
+
+  /// Messages currently in flight across both engines.
+  std::size_t MessagesInFlight() const;
 
   // -- Initialization ------------------------------------------------------
 
@@ -206,6 +224,7 @@ class P3QSystem {
   std::vector<std::unique_ptr<P3QNode>> nodes_;
   std::unique_ptr<LazyProtocol> lazy_;
   std::unique_ptr<EagerProtocol> eager_;
+  LatencySpec latency_spec_;  ///< default: ZeroLatency
   std::array<PairCacheStripe, kPairCacheStripes> pair_cache_;
 };
 

@@ -7,6 +7,10 @@ ActiveQuery::ActiveQuery(std::uint64_t id, QuerySpec spec, int k,
     : id_(id), spec_(std::move(spec)), expected_(expected), nra_(k) {}
 
 void ActiveQuery::DeliverPartialResult(PartialResultMessage message) {
+  if (finalized_) {
+    ++late_results_dropped_;
+    return;
+  }
   inbox_.push_back(std::move(message));
 }
 
@@ -28,6 +32,7 @@ void ActiveQuery::EndOfCycle(bool complete) {
   snapshot.used_profiles = used_profiles_.size();
   snapshot.complete = complete;
   history_.push_back(std::move(snapshot));
+  if (complete) finalized_ = true;
 }
 
 std::vector<ItemId> ActiveQuery::CurrentTopKItems() const {

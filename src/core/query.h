@@ -70,8 +70,19 @@ class ActiveQuery {
   std::uint64_t id() const { return id_; }
   const QuerySpec& spec() const { return spec_; }
 
-  /// Enqueues a partial result received during the current cycle.
+  /// Enqueues a partial result received during the current cycle. Once the
+  /// query is finalized (the completion EndOfCycle ran and the NRA was
+  /// drained), late arrivals — reachable when delivery lags behind the
+  /// cycle that completed the query — are counted and dropped instead of
+  /// silently accumulating in an inbox nobody drains.
   void DeliverPartialResult(PartialResultMessage message);
+
+  /// True once the completion snapshot was recorded; later partial results
+  /// are dropped.
+  bool finalized() const { return finalized_; }
+
+  /// Partial results that arrived after finalization and were dropped.
+  std::uint64_t late_results_dropped() const { return late_results_dropped_; }
 
   /// Ends the cycle: feeds queued lists into the NRA, refreshes the top-k
   /// and appends a snapshot. `complete` signals that no remaining list for
@@ -110,6 +121,8 @@ class ActiveQuery {
   std::unordered_set<UserId> used_profiles_;
   std::vector<QueryCycleSnapshot> history_;
   QueryTraffic traffic_;
+  bool finalized_ = false;
+  std::uint64_t late_results_dropped_ = 0;
 };
 
 }  // namespace p3q

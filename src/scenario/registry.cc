@@ -153,6 +153,38 @@ Scenario ColdStartQuery() {
   return s;
 }
 
+Scenario LaggedSteady() {
+  Scenario s;
+  s.name = "lagged-steady";
+  s.description =
+      "The steady-state timeline under FixedLatency{2}: every gossip "
+      "effect is in flight for two cycles, so convergence and query "
+      "completion pay a real propagation delay.";
+  s.latency.kind = LatencyKind::kFixed;
+  s.latency.fixed = 2;
+  s.phases.push_back(Phase("converge", 40, PhaseMode::kLazy));
+  s.phases.push_back(Phase("serve", 15, PhaseMode::kMixed,
+                           /*queries_per_cycle=*/2));
+  return s;
+}
+
+Scenario LossyFlashCrowd() {
+  Scenario s;
+  s.name = "lossy-flash-crowd";
+  s.description =
+      "The flash-crowd bursts on a lossy wire (10% of messages dropped, "
+      "survivors delayed up to 3 cycles): eager tasks must survive on "
+      "timeout re-issues.";
+  s.latency.kind = LatencyKind::kLossy;
+  s.latency.loss = 0.10;
+  s.latency.max_delay = 3;
+  s.phases.push_back(Phase("converge", 30, PhaseMode::kLazy));
+  s.phases.push_back(Phase("crowd", 18, PhaseMode::kMixed,
+                           /*queries_per_cycle=*/0,
+                           {QueryBurst(0, 25), QueryBurst(6, 25)}));
+  return s;
+}
+
 Scenario MixedStress() {
   Scenario s;
   s.name = "mixed-stress";
@@ -187,6 +219,8 @@ constexpr RegistryEntry kRegistry[] = {
     {"churn-grind", ChurnGrind},
     {"cold-start-query", ColdStartQuery},
     {"mixed-stress", MixedStress},
+    {"lagged-steady", LaggedSteady},
+    {"lossy-flash-crowd", LossyFlashCrowd},
 };
 
 const RegistryEntry* FindEntry(const std::string& name) {

@@ -4,7 +4,9 @@
 // one workload shape the system must handle: the paper's own situations
 // (steady state, one massive departure, one update batch) plus richer
 // dynamics — diurnal availability, flash crowds, sustained churn, querying
-// during cold start, and a combined stress timeline. Scenarios are built on
+// during cold start, a combined stress timeline, and delivery-latency
+// variants (lagged-steady, lossy-flash-crowd) that run a base timeline
+// under a non-zero latency model. Scenarios are built on
 // demand so callers can scale them via the runner options; the registry is
 // the single source the p3q_sim CLI, the scenario_tour example and the
 // scenario smoke tests all enumerate, so a new scenario is automatically

@@ -71,10 +71,41 @@ void AppendTimingJson(const PhaseTiming& timing, std::ostringstream* out) {
        << "}";
 }
 
+/// Delivery counters of one phase (or the totals, with the extra
+/// whole-run fields: stale drops, the in-flight peak and the lag
+/// histogram trimmed to its last non-empty bucket).
+void AppendDeliveryJson(const DeliveryStats& delivery,
+                        std::size_t in_flight_at_end, bool totals,
+                        std::ostringstream* out) {
+  *out << "{\"enqueued\": " << delivery.enqueued
+       << ", \"delivered\": " << delivery.delivered
+       << ", \"dropped\": " << delivery.dropped
+       << ", \"in_flight_at_end\": " << in_flight_at_end
+       << ", \"lag_p50\": " << Num(delivery.LagPercentile(0.50), 2)
+       << ", \"lag_p95\": " << Num(delivery.LagPercentile(0.95), 2);
+  if (totals) {
+    *out << ", \"stale_dropped\": " << delivery.stale_dropped
+         << ", \"max_in_flight\": " << delivery.max_in_flight;
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kDeliveryLagBuckets; ++i) {
+      if (delivery.lag_histogram[i] != 0) last = i;
+    }
+    *out << ", \"lag_histogram\": [";
+    for (std::size_t i = 0; i <= last; ++i) {
+      *out << (i > 0 ? ", " : "") << delivery.lag_histogram[i];
+    }
+    *out << "]";
+  }
+  *out << "}";
+}
+
 }  // namespace
 
 std::string ScenarioReportToJson(const ScenarioReport& report,
                                  bool include_timing) {
+  // The delivery block appears only under a non-zero latency model, so
+  // ZeroLatency reports stay byte-identical to the synchronous engine's.
+  const bool include_delivery = !report.latency.IsZero();
   std::ostringstream out;
   out << "{\n"
       << "  \"scenario\": \"" << JsonEscape(report.scenario) << "\",\n"
@@ -84,8 +115,12 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
       << "  \"config\": {\"network_size\": " << report.network_size
       << ", \"stored_profiles\": " << report.stored_profiles
       << ", \"top_k\": " << report.top_k << ", \"alpha\": " << Num(report.alpha)
-      << "},\n"
-      << "  \"phases\": [\n";
+      << "},\n";
+  if (include_delivery) {
+    out << "  \"latency\": \"" << JsonEscape(report.latency.Name())
+        << "\",\n";
+  }
+  out << "  \"phases\": [\n";
   for (std::size_t i = 0; i < report.phases.size(); ++i) {
     const PhaseReport& p = report.phases[i];
     out << "    {\n"
@@ -102,6 +137,11 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
         << "      \"success_ratio\": " << Num(p.success_ratio) << ",\n"
         << "      \"traffic\": ";
     AppendTrafficJson(p.traffic, "      ", &out);
+    if (include_delivery) {
+      out << ",\n      \"delivery\": ";
+      AppendDeliveryJson(p.delivery, p.in_flight_at_end, /*totals=*/false,
+                         &out);
+    }
     if (include_timing) {
       out << ",\n      \"timing\": ";
       AppendTimingJson(p.timing, &out);
@@ -117,6 +157,13 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
       << ", \"completed\": " << report.total_queries_completed << "},\n"
       << "    \"traffic\": ";
   AppendTrafficJson(report.total_traffic, "    ", &out);
+  if (include_delivery) {
+    const std::size_t in_flight_at_end =
+        report.phases.empty() ? 0 : report.phases.back().in_flight_at_end;
+    out << ",\n    \"delivery\": ";
+    AppendDeliveryJson(report.total_delivery, in_flight_at_end,
+                       /*totals=*/true, &out);
+  }
   if (include_timing) {
     out << ",\n    \"timing\": ";
     AppendTimingJson(report.total_timing, &out);
@@ -127,6 +174,9 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
 
 std::string ScenarioReportToCsv(const ScenarioReport& report,
                                 bool include_timing) {
+  // Delivery columns appear only under a non-zero latency model (the same
+  // gating as the JSON emitter) so ZeroLatency CSV stays byte-identical.
+  const bool include_delivery = !report.latency.IsZero();
   std::ostringstream out;
   out << "scenario,phase,mode,cycles,online_at_end,departures,rejoins,"
          "queries_issued,queries_completed,avg_recall,avg_coverage,"
@@ -134,6 +184,11 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
   for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
     const char* name = MessageTypeName(static_cast<MessageType>(i));
     out << "," << name << "_messages," << name << "_bytes";
+  }
+  if (include_delivery) {
+    out << ",latency_model,delivery_enqueued,delivery_delivered,"
+           "delivery_dropped,delivery_stale_dropped,in_flight_at_end,"
+           "lag_p50,lag_p95";
   }
   if (include_timing) {
     out << ",threads,wall_seconds,cycles_per_sec,user_cycles_per_sec";
@@ -144,7 +199,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
                  std::uint64_t cycles, std::size_t online_at_end,
                  std::size_t departures, std::size_t rejoins, int issued,
                  int completed, double recall, double coverage, double success,
-                 const Metrics& traffic, const PhaseTiming& timing) {
+                 const Metrics& traffic, const DeliveryStats& delivery,
+                 std::size_t in_flight_at_end, const PhaseTiming& timing) {
     out << report.scenario << "," << phase_name << "," << mode << "," << cycles
         << "," << online_at_end << "," << departures << "," << rejoins << ","
         << issued << "," << completed << "," << Num(recall) << ","
@@ -153,6 +209,13 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
     for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
       const MessageStats& s = traffic.Of(static_cast<MessageType>(i));
       out << "," << s.messages << "," << s.bytes;
+    }
+    if (include_delivery) {
+      out << "," << report.latency.Name() << "," << delivery.enqueued << ","
+          << delivery.delivered << "," << delivery.dropped << ","
+          << delivery.stale_dropped << "," << in_flight_at_end << ","
+          << Num(delivery.LagPercentile(0.50), 2) << ","
+          << Num(delivery.LagPercentile(0.95), 2);
     }
     if (include_timing) {
       out << "," << timing.threads << "," << Num(timing.wall_seconds) << ","
@@ -165,7 +228,7 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
   for (const PhaseReport& p : report.phases) {
     row(p.name, p.mode, p.cycles, p.online_at_end, p.departures, p.rejoins,
         p.queries_issued, p.queries_completed, p.avg_recall, p.avg_coverage,
-        p.success_ratio, p.traffic, p.timing);
+        p.success_ratio, p.traffic, p.delivery, p.in_flight_at_end, p.timing);
   }
   const PhaseReport* last = report.phases.empty() ? nullptr : &report.phases.back();
   row("total", "-", report.total_cycles,
@@ -175,7 +238,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
       last != nullptr ? last->avg_recall : -1,
       last != nullptr ? last->avg_coverage : 0,
       last != nullptr ? last->success_ratio : 0, report.total_traffic,
-      report.total_timing);
+      report.total_delivery,
+      last != nullptr ? last->in_flight_at_end : 0, report.total_timing);
   return out.str();
 }
 

@@ -6,7 +6,12 @@
 // byte-deterministic in the report's contents; the wall-clock timing block —
 // the only non-deterministic part of a run — is excluded unless
 // `include_timing` is set, so that two runs with the same seed serialize
-// identically by default.
+// identically by default. Runs under a non-zero latency model additionally
+// carry a (deterministic) delivery block — enqueued/delivered/dropped
+// counts, in-flight depth and delivery-lag percentiles, plus the lag
+// histogram in the totals; under the default ZeroLatency the block is
+// omitted entirely so output stays byte-identical to the synchronous
+// engine's.
 #ifndef P3Q_SCENARIO_REPORT_H_
 #define P3Q_SCENARIO_REPORT_H_
 

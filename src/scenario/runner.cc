@@ -89,6 +89,10 @@ ScenarioReport RunScenario(const Scenario& scenario,
 
   P3QSystem system(dataset, config, /*per_user_storage=*/{}, options.seed);
   if (options.threads > 0) system.SetThreads(options.threads);
+  // The CLI override wins over the scenario's own latency block; the
+  // default is ZeroLatency (byte-identical to the synchronous engine).
+  const LatencySpec latency = options.latency.value_or(scenario.latency);
+  system.SetLatency(latency);
   system.BootstrapRandomViews();
   // Workload randomness (querier choice, duty sampling, update batches) is
   // forked off the master seed, decorrelated from the system's own stream.
@@ -103,6 +107,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
   report.stored_profiles = config.stored_profiles;
   report.top_k = config.top_k;
   report.alpha = config.alpha;
+  report.latency = latency;
 
   // The ideal networks the success ratio compares against; recomputed only
   // when an update storm changed the profiles.
@@ -121,6 +126,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
 
     std::vector<OpenQuery> open;
     const Metrics before = system.metrics().Snapshot();
+    const DeliveryStats delivery_before = system.DeliveryStatsTotal();
     double online_cycle_sum = 0;  // Σ over cycles of online users (work rate)
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -235,6 +241,8 @@ ScenarioReport RunScenario(const Scenario& scenario,
     pr.success_ratio = AverageSuccessRatio(system, ideal);
     pr.online_at_end = system.network().NumOnline();
     pr.traffic = system.metrics().Since(before);
+    pr.delivery = system.DeliveryStatsTotal().Since(delivery_before);
+    pr.in_flight_at_end = system.MessagesInFlight();
 
     pr.timing.wall_seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
@@ -256,6 +264,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
   }
 
   report.total_traffic = system.metrics().Snapshot();
+  report.total_delivery = system.DeliveryStatsTotal();
   report.total_timing.threads = system.threads();
   if (report.total_timing.wall_seconds > 0) {
     double online_weighted = 0;

@@ -13,10 +13,12 @@
 #define P3Q_SCENARIO_RUNNER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "sim/delivery.h"
 #include "sim/metrics.h"
 
 namespace p3q {
@@ -42,6 +44,9 @@ struct ScenarioRunnerOptions {
   /// P3Q_THREADS environment default (1). Reports are byte-identical for
   /// every value; only the timing block (opt-in) differs.
   int threads = 0;
+  /// When set, overrides the scenario's own latency model (the --latency /
+  /// --loss CLI flags land here).
+  std::optional<LatencySpec> latency;
 };
 
 /// Wall-clock throughput of a phase (the only thread-count-dependent part
@@ -73,6 +78,11 @@ struct PhaseReport {
   double success_ratio = 0;
   /// Traffic of this phase only, per MessageType.
   Metrics traffic;
+  /// Delivery-layer counters of this phase only (zero under ZeroLatency
+  /// lag-wise: everything delivers with lag 0).
+  DeliveryStats delivery;
+  /// Messages still in flight when the phase ended.
+  std::size_t in_flight_at_end = 0;
   PhaseTiming timing;
 };
 
@@ -86,6 +96,10 @@ struct ScenarioReport {
   int stored_profiles = 0;
   int top_k = 0;
   double alpha = 0;
+  /// The latency model the run used (scenario's own, or the CLI override).
+  /// Reports serialize a delivery block only when this is non-zero, so
+  /// ZeroLatency output stays byte-identical to the synchronous engine's.
+  LatencySpec latency;
   std::vector<PhaseReport> phases;
 
   std::uint64_t total_cycles = 0;
@@ -94,6 +108,7 @@ struct ScenarioReport {
   int total_queries_issued = 0;
   int total_queries_completed = 0;
   Metrics total_traffic;
+  DeliveryStats total_delivery;
   PhaseTiming total_timing;
 };
 

@@ -54,6 +54,9 @@ std::uint64_t Scenario::TotalCycles() const {
 std::string Scenario::Validate() const {
   if (name.empty()) return "scenario name is empty";
   if (phases.empty()) return "scenario has no phases";
+  if (const std::string problem = latency.Validate(); !problem.empty()) {
+    return problem;
+  }
   for (const ScenarioPhase& phase : phases) {
     const std::string where = "phase '" + phase.name + "': ";
     if (phase.name.empty()) return "a phase has an empty name";

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dataset/generator.h"
+#include "sim/delivery.h"
 
 namespace p3q {
 
@@ -79,6 +80,12 @@ struct ScenarioPhase {
 struct Scenario {
   std::string name;
   std::string description;
+  /// Message-delivery latency model the whole timeline runs under
+  /// (sim/delivery.h). The default ZeroLatency reproduces the synchronous
+  /// engine byte for byte; non-zero models put every planned gossip effect
+  /// in flight for whole cycles and surface delivery-lag statistics in the
+  /// reports.
+  LatencySpec latency;
   std::vector<ScenarioPhase> phases;
 
   /// Sum of all phase cycle budgets.

@@ -1,0 +1,199 @@
+#include "sim/delivery.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace p3q {
+namespace {
+
+/// %g keeps the shortest faithful form ("0.1", "0.105", "1e-07"), so a
+/// spec's Name() round-trips through ParseLatencySpec to the same model.
+std::string FormatLoss(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+/// Splits "a:b:c" into pieces.
+std::vector<std::string> SplitColon(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+bool ParseU64(const std::string& s, std::uint64_t* out) {
+  // Digits only: strtoull would silently wrap "-1" to 2^64-1.
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool ParseStrictDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  if (v != v) return false;  // NaN compares false against every bound
+  *out = v;
+  return true;
+}
+
+std::string LatencySpec::Name() const {
+  switch (kind) {
+    case LatencyKind::kZero:
+      return "zero";
+    case LatencyKind::kFixed:
+      return "fixed:" + std::to_string(fixed);
+    case LatencyKind::kUniform:
+      return "uniform:" + std::to_string(lo) + ":" + std::to_string(hi);
+    case LatencyKind::kLossy:
+      return "lossy:" + FormatLoss(loss) + ":" + std::to_string(max_delay);
+  }
+  return "unknown";
+}
+
+std::string LatencySpec::Validate() const {
+  switch (kind) {
+    case LatencyKind::kZero:
+    case LatencyKind::kFixed:
+      return "";
+    case LatencyKind::kUniform:
+      if (lo > hi) return "uniform latency: lo > hi";
+      return "";
+    case LatencyKind::kLossy:
+      // The negated form also rejects NaN (every comparison false).
+      if (!(loss >= 0.0 && loss <= 1.0)) {
+        return "lossy latency: loss probability outside [0, 1]";
+      }
+      return "";
+  }
+  return "unknown latency kind";
+}
+
+std::string ParseLatencySpec(const std::string& text, LatencySpec* spec) {
+  const std::vector<std::string> parts = SplitColon(text);
+  LatencySpec parsed;
+  const std::string usage =
+      " (expected zero | fixed:K | uniform:LO:HI | lossy:P:MAX)";
+  if (parts[0] == "zero") {
+    if (parts.size() != 1) return "zero latency takes no parameters" + usage;
+  } else if (parts[0] == "fixed") {
+    parsed.kind = LatencyKind::kFixed;
+    if (parts.size() != 2 || !ParseU64(parts[1], &parsed.fixed)) {
+      return "cannot parse fixed latency '" + text + "'" + usage;
+    }
+  } else if (parts[0] == "uniform") {
+    parsed.kind = LatencyKind::kUniform;
+    if (parts.size() != 3 || !ParseU64(parts[1], &parsed.lo) ||
+        !ParseU64(parts[2], &parsed.hi)) {
+      return "cannot parse uniform latency '" + text + "'" + usage;
+    }
+  } else if (parts[0] == "lossy") {
+    parsed.kind = LatencyKind::kLossy;
+    if (parts.size() != 3 || !ParseStrictDouble(parts[1], &parsed.loss) ||
+        !ParseU64(parts[2], &parsed.max_delay)) {
+      return "cannot parse lossy latency '" + text + "'" + usage;
+    }
+  } else {
+    return "unknown latency model '" + text + "'" + usage;
+  }
+  if (const std::string problem = parsed.Validate(); !problem.empty()) {
+    return problem;
+  }
+  *spec = parsed;
+  return "";
+}
+
+std::string FixedLatency::Name() const {
+  return "fixed:" + std::to_string(k_);
+}
+
+std::string UniformLatency::Name() const {
+  return "uniform:" + std::to_string(lo_) + ":" + std::to_string(hi_);
+}
+
+std::string LossyLatency::Name() const {
+  return "lossy:" + FormatLoss(p_) + ":" + std::to_string(max_delay_);
+}
+
+std::unique_ptr<const LatencyModel> MakeLatencyModel(const LatencySpec& spec) {
+  switch (spec.kind) {
+    case LatencyKind::kZero:
+      return std::make_unique<ZeroLatency>();
+    case LatencyKind::kFixed:
+      return std::make_unique<FixedLatency>(spec.fixed);
+    case LatencyKind::kUniform:
+      return std::make_unique<UniformLatency>(spec.lo, spec.hi);
+    case LatencyKind::kLossy:
+      return std::make_unique<LossyLatency>(spec.loss, spec.max_delay);
+  }
+  return std::make_unique<ZeroLatency>();
+}
+
+void DeliveryQueue::EnqueuePending(std::size_t shard, UserId sender,
+                                   std::uint64_t send_cycle,
+                                   std::uint64_t due_cycle,
+                                   std::unique_ptr<DeliveryMessage> payload) {
+  InFlight message;
+  message.sender = sender;
+  message.send_cycle = send_cycle;
+  message.due_cycle = due_cycle;
+  message.payload = std::move(payload);
+  pending_[shard].push_back(std::move(message));
+}
+
+void DeliveryQueue::Fold() {
+  for (std::size_t shard = 0; shard < kEngineShards; ++shard) {
+    for (InFlight& message : pending_[shard]) {
+      message.seq = next_seq_++;
+      due_[message.due_cycle].push_back(std::move(message));
+      ++in_flight_;
+      ++stats_.enqueued;
+    }
+    pending_[shard].clear();
+    stats_.dropped += pending_drops_[shard];
+    pending_drops_[shard] = 0;
+  }
+  if (in_flight_ > stats_.max_in_flight) stats_.max_in_flight = in_flight_;
+}
+
+std::vector<DeliveryQueue::InFlight> DeliveryQueue::TakeDue(
+    std::uint64_t cycle) {
+  std::vector<InFlight> out;
+  while (!due_.empty() && due_.begin()->first <= cycle) {
+    std::vector<InFlight>& bucket = due_.begin()->second;
+    // Within a bucket entries are already in seq order; a stable sort by
+    // sender yields the contract's (due cycle, sender, seq) order.
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const InFlight& a, const InFlight& b) {
+                       return a.sender < b.sender;
+                     });
+    for (InFlight& message : bucket) {
+      stats_.RecordDelivery(cycle - message.send_cycle);
+      out.push_back(std::move(message));
+    }
+    in_flight_ -= bucket.size();
+    due_.erase(due_.begin());
+  }
+  return out;
+}
+
+}  // namespace p3q

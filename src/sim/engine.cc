@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/env.h"
+#include "sim/delivery.h"
 
 namespace p3q {
 namespace {
@@ -118,6 +119,21 @@ class PlanWorkerPool {
   bool stop_ = false;
 };
 
+void PlanContext::Send(std::unique_ptr<DeliveryMessage> message) const {
+  std::uint64_t delay = 0;
+  if (latency != nullptr) {
+    const std::optional<std::uint64_t> d =
+        latency->Delay(cycle, node, delivery_rng);
+    if (!d.has_value()) {
+      queue->RecordPlannedDrop(shard);
+      return;
+    }
+    delay = *d;
+  }
+  queue->EnqueuePending(shard, node, cycle, cycle + delay,
+                        std::move(message));
+}
+
 Engine::Engine(std::size_t num_nodes, std::uint64_t seed)
     : num_nodes_(num_nodes),
       seed_(seed),
@@ -125,6 +141,27 @@ Engine::Engine(std::size_t num_nodes, std::uint64_t seed)
       alive_(num_nodes, 1) {}
 
 Engine::~Engine() = default;
+
+void Engine::AddProtocol(CycleProtocol* protocol) {
+  protocols_.push_back(protocol);
+  queues_.push_back(std::make_unique<DeliveryQueue>());
+}
+
+void Engine::SetLatencyModel(std::shared_ptr<const LatencyModel> model) {
+  latency_ = std::move(model);
+}
+
+DeliveryStats Engine::DeliveryStatsTotal() const {
+  DeliveryStats total;
+  for (const auto& queue : queues_) total.MergeFrom(queue->stats());
+  return total;
+}
+
+std::size_t Engine::MessagesInFlight() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue->InFlightDepth();
+  return total;
+}
 
 void Engine::SetThreads(int threads) {
   const int clamped = ClampThreads(threads);
@@ -157,7 +194,13 @@ void Engine::SnapshotLiveness() {
   }
 }
 
-void Engine::RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt) {
+void Engine::RunPlanPhase(std::size_t protocol_index, std::uint64_t tag) {
+  CycleProtocol* protocol = protocols_[protocol_index];
+  DeliveryQueue* queue = queues_[protocol_index].get();
+  // ZeroLatency (or no model) takes the fast path: no model consultation,
+  // no delivery-stream forks, every message due this cycle.
+  const LatencyModel* latency =
+      (latency_ != nullptr && !latency_->IsZero()) ? latency_.get() : nullptr;
   std::atomic<std::size_t> next_shard{0};
   const std::function<void()> plan_shards = [&]() {
     for (std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
@@ -167,9 +210,17 @@ void Engine::RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt) {
       PlanContext ctx;
       ctx.cycle = cycle_;
       ctx.shard = s;
+      ctx.queue = queue;
+      ctx.latency = latency;
       for (UserId u = first; u < last; ++u) {
         if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
-        Rng rng = ForkStream(seed_, cycle_, u, salt);
+        Rng rng = ForkStream(seed_, cycle_, u, kPlanSalt ^ tag);
+        Rng delivery_rng(0);
+        if (latency != nullptr) {
+          delivery_rng = ForkStream(seed_, cycle_, u, kDeliverySalt ^ tag);
+          ctx.delivery_rng = &delivery_rng;
+        }
+        ctx.node = u;
         ctx.rng = &rng;
         protocol->PlanCycle(u, ctx);
       }
@@ -183,22 +234,45 @@ void Engine::RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt) {
   pool_->Run(plan_shards);
 }
 
+void Engine::DrainDueMessages(std::size_t protocol_index, std::uint64_t tag) {
+  CycleProtocol* protocol = protocols_[protocol_index];
+  std::vector<DeliveryQueue::InFlight> due =
+      queues_[protocol_index]->TakeDue(cycle_);
+  // One commit stream per (cycle, sender), shared by every message of that
+  // sender arriving this cycle — the exact stream the classic per-node
+  // commit used, so ZeroLatency reproduces it draw for draw.
+  UserId current_sender = kInvalidUser;
+  Rng rng(0);
+  for (DeliveryQueue::InFlight& message : due) {
+    if (message.sender != current_sender) {
+      current_sender = message.sender;
+      rng = ForkStream(seed_, cycle_, message.sender, kCommitSalt ^ tag);
+    }
+    protocol->CommitMessage(message.sender, message.send_cycle, cycle_,
+                            *message.payload, &rng);
+  }
+}
+
 void Engine::RunCycles(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
     SnapshotLiveness();
-    std::uint64_t protocol_index = 0;
-    for (CycleProtocol* protocol : protocols_) {
+    for (std::size_t p = 0; p < protocols_.size(); ++p) {
+      CycleProtocol* protocol = protocols_[p];
       // Distinct per-protocol salts keep the streams of co-registered
       // protocols decorrelated.
-      const std::uint64_t tag = protocol_index++ << 32;
+      const std::uint64_t tag = static_cast<std::uint64_t>(p) << 32;
       protocol->BeginCycle(cycle_);
-      RunPlanPhase(protocol, kPlanSalt ^ tag);
+      RunPlanPhase(p, tag);
       protocol->EndPlan(cycle_);
-      for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
-        if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
-        Rng rng = ForkStream(seed_, cycle_, u, kCommitSalt ^ tag);
-        protocol->CommitCycle(u, cycle_, &rng);
+      queues_[p]->Fold();
+      if (protocol->UsesPerNodeCommit()) {
+        for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+          if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
+          Rng rng = ForkStream(seed_, cycle_, u, kCommitSalt ^ tag);
+          protocol->CommitCycle(u, cycle_, &rng);
+        }
       }
+      DrainDueMessages(p, tag);
       Rng end_rng = ForkStream(seed_, cycle_, 0, kCycleSalt ^ tag);
       protocol->EndCycle(cycle_, &end_rng);
     }

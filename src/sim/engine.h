@@ -36,6 +36,15 @@
 // node-visit multiset, every RNG stream, and every committed effect are
 // independent of the thread count — `--threads=N` is byte-identical to
 // `--threads=1`.
+//
+// Asynchronous delivery (sim/delivery.h) sits between the two phases: a
+// protocol's plan code packages its buffered effects as a self-contained
+// DeliveryMessage and hands it to PlanContext::Send. A pluggable
+// LatencyModel decides at send time when the message commits (the default
+// ZeroLatency commits it at this cycle's barrier, byte-identical to the
+// synchronous engine); the engine drains every due message during the
+// commit phase, ordered by (due cycle, sender, seq), invoking the
+// protocol's CommitMessage with a per-(cycle, sender) forked stream.
 #ifndef P3Q_SIM_ENGINE_H_
 #define P3Q_SIM_ENGINE_H_
 
@@ -47,10 +56,20 @@
 
 #include "common/random.h"
 #include "common/types.h"
+#include "sim/metrics.h"
 
 namespace p3q {
 
 class PlanWorkerPool;  // persistent plan-phase workers (engine.cc)
+class DeliveryQueue;   // timestamped in-flight messages (sim/delivery.h)
+class LatencyModel;    // pluggable delay/loss policy (sim/delivery.h)
+
+/// Base of every self-contained planned effect a protocol sends through the
+/// delivery layer; protocols derive their own payload types and downcast in
+/// CommitMessage.
+struct DeliveryMessage {
+  virtual ~DeliveryMessage() = default;
+};
 
 /// Fixed shard count. Nodes map to contiguous shards independently of the
 /// thread count, so shard-indexed mailboxes merge identically for every N.
@@ -62,9 +81,27 @@ struct PlanContext {
   /// Shard the node belongs to; plan code writing to per-shard mailboxes
   /// (e.g. Network::ShardTraffic) must index them with this.
   std::size_t shard = 0;
+  /// The node being planned (redundant with PlanCycle's argument; Send
+  /// stamps it as the message sender).
+  UserId node = kInvalidUser;
   /// Private per-(cycle, node) random stream; the ONLY randomness plan code
   /// may draw.
   Rng* rng = nullptr;
+
+  /// Puts a self-contained planned effect on the wire: the engine's latency
+  /// model picks the delivery cycle (or drops the message), and the
+  /// protocol's CommitMessage is invoked when it arrives. Race-free from
+  /// plan threads (per-shard pending lists).
+  void Send(std::unique_ptr<DeliveryMessage> message) const;
+
+  // Engine-internal delivery wiring (set up per node by the plan phase).
+  DeliveryQueue* queue = nullptr;
+  /// Null for ZeroLatency — the fast path skips the model entirely.
+  const LatencyModel* latency = nullptr;
+  /// Dedicated per-(cycle, node) stream for delay/loss draws (kDeliverySalt),
+  /// so the latency model never perturbs the protocol's own plan stream.
+  /// Null for ZeroLatency.
+  Rng* delivery_rng = nullptr;
 };
 
 /// A per-node protocol driven by the cycle engine.
@@ -110,6 +147,26 @@ class CycleProtocol {
     (void)rng;
   }
 
+  /// Protocols whose plan phase sends DeliveryMessages and whose commit
+  /// work lives entirely in CommitMessage return false so the engine skips
+  /// the per-node CommitCycle sweep (and its stream forks).
+  virtual bool UsesPerNodeCommit() const { return true; }
+
+  /// Sequential delivery of one message sent by `sender` in `send_cycle`,
+  /// arriving in `cycle`. Messages are delivered in (due cycle, sender,
+  /// seq) order; `rng` is the per-(cycle, sender) commit stream, shared by
+  /// all of a sender's messages arriving this cycle — under ZeroLatency
+  /// this reproduces the classic CommitCycle stream exactly.
+  virtual void CommitMessage(UserId sender, std::uint64_t send_cycle,
+                             std::uint64_t cycle, DeliveryMessage& message,
+                             Rng* rng) {
+    (void)sender;
+    (void)send_cycle;
+    (void)cycle;
+    (void)message;
+    (void)rng;
+  }
+
   /// Sequential hook after all commits of this protocol in this cycle.
   virtual void EndCycle(std::uint64_t cycle, Rng* rng) {
     (void)cycle;
@@ -130,8 +187,8 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Registers a protocol; all registered protocols run every cycle, in
-  /// registration order.
-  void AddProtocol(CycleProtocol* protocol) { protocols_.push_back(protocol); }
+  /// registration order. Each protocol gets its own DeliveryQueue.
+  void AddProtocol(CycleProtocol* protocol);
 
   /// Registers an observer called after every cycle with the cycle index.
   void AddObserver(std::function<void(std::uint64_t)> observer) {
@@ -149,6 +206,19 @@ class Engine {
   /// Results are byte-identical for every value.
   void SetThreads(int threads);
   int threads() const { return threads_; }
+
+  /// Installs the latency model governing message delivery (shared so both
+  /// of a system's engines can use one model). Null or ZeroLatency selects
+  /// the zero-latency fast path — byte-identical to the synchronous engine.
+  /// Messages already in flight keep their delivery cycles.
+  void SetLatencyModel(std::shared_ptr<const LatencyModel> model);
+  const LatencyModel* latency_model() const { return latency_.get(); }
+
+  /// Merged delivery counters over every protocol's queue.
+  DeliveryStats DeliveryStatsTotal() const;
+
+  /// Messages currently in flight across every protocol's queue.
+  std::size_t MessagesInFlight() const;
 
   std::size_t num_nodes() const { return num_nodes_; }
 
@@ -171,9 +241,10 @@ class Engine {
   static Rng ForkStream(std::uint64_t seed, std::uint64_t cycle, UserId node,
                         std::uint64_t salt);
 
-  static constexpr std::uint64_t kPlanSalt = 0x706c616eULL;    // "plan"
-  static constexpr std::uint64_t kCommitSalt = 0x636f6d6dULL;  // "comm"
-  static constexpr std::uint64_t kCycleSalt = 0x6379636cULL;   // "cycl"
+  static constexpr std::uint64_t kPlanSalt = 0x706c616eULL;      // "plan"
+  static constexpr std::uint64_t kCommitSalt = 0x636f6d6dULL;    // "comm"
+  static constexpr std::uint64_t kCycleSalt = 0x6379636cULL;     // "cycl"
+  static constexpr std::uint64_t kDeliverySalt = 0x64656c76ULL;  // "delv"
 
  private:
   static std::size_t ShardWidth(std::size_t num_nodes) {
@@ -183,9 +254,13 @@ class Engine {
   std::pair<UserId, UserId> ShardRange(std::size_t shard) const;
 
   void SnapshotLiveness();
-  void RunPlanPhase(CycleProtocol* protocol, std::uint64_t salt);
+  void RunPlanPhase(std::size_t protocol_index, std::uint64_t tag);
+  void DrainDueMessages(std::size_t protocol_index, std::uint64_t tag);
 
   std::vector<CycleProtocol*> protocols_;
+  /// One in-flight message queue per registered protocol (same index).
+  std::vector<std::unique_ptr<DeliveryQueue>> queues_;
+  std::shared_ptr<const LatencyModel> latency_;
   std::vector<std::function<void(std::uint64_t)>> observers_;
   std::function<bool(UserId)> liveness_;
   std::size_t num_nodes_;

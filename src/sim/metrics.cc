@@ -57,4 +57,42 @@ void Metrics::Reset() {
   for (auto& s : stats_) s = MessageStats{};
 }
 
+double DeliveryStats::LagPercentile(double p) const {
+  if (delivered == 0) return -1.0;
+  const double target = p * static_cast<double>(delivered);
+  std::uint64_t cumulative = 0;
+  for (std::size_t lag = 0; lag < kDeliveryLagBuckets; ++lag) {
+    cumulative += lag_histogram[lag];
+    if (static_cast<double>(cumulative) >= target) {
+      return static_cast<double>(lag);
+    }
+  }
+  return static_cast<double>(kDeliveryLagBuckets - 1);
+}
+
+void DeliveryStats::MergeFrom(const DeliveryStats& other) {
+  enqueued += other.enqueued;
+  dropped += other.dropped;
+  delivered += other.delivered;
+  stale_dropped += other.stale_dropped;
+  max_in_flight = max_in_flight > other.max_in_flight ? max_in_flight
+                                                      : other.max_in_flight;
+  for (std::size_t i = 0; i < kDeliveryLagBuckets; ++i) {
+    lag_histogram[i] += other.lag_histogram[i];
+  }
+}
+
+DeliveryStats DeliveryStats::Since(const DeliveryStats& earlier) const {
+  DeliveryStats delta;
+  delta.enqueued = enqueued - earlier.enqueued;
+  delta.dropped = dropped - earlier.dropped;
+  delta.delivered = delivered - earlier.delivered;
+  delta.stale_dropped = stale_dropped - earlier.stale_dropped;
+  delta.max_in_flight = max_in_flight;
+  for (std::size_t i = 0; i < kDeliveryLagBuckets; ++i) {
+    delta.lag_histogram[i] = lag_histogram[i] - earlier.lag_histogram[i];
+  }
+  return delta;
+}
+
 }  // namespace p3q

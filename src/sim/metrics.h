@@ -9,6 +9,7 @@
 #define P3Q_SIM_METRICS_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -79,6 +80,41 @@ class Metrics {
 
  private:
   std::array<MessageStats, static_cast<int>(MessageType::kCount)> stats_{};
+};
+
+/// Delivery-lag histogram resolution: lags of 0..kDeliveryLagBuckets-2
+/// cycles are counted exactly; the last bucket absorbs everything longer.
+inline constexpr std::size_t kDeliveryLagBuckets = 33;
+
+/// Counters of the asynchronous delivery layer (sim/delivery.h): how many
+/// planned effects went onto the wire, how long they stayed in flight, and
+/// how many never arrived. All counters are deterministic in (seed, latency
+/// model) — they never depend on the thread count.
+struct DeliveryStats {
+  std::uint64_t enqueued = 0;       ///< messages accepted onto the wire
+  std::uint64_t dropped = 0;        ///< lost in flight (latency model)
+  std::uint64_t delivered = 0;      ///< committed at the receiver
+  std::uint64_t stale_dropped = 0;  ///< arrived but obsolete (superseded)
+  std::uint64_t max_in_flight = 0;  ///< peak queue depth after a plan barrier
+  /// delivered messages by lag = commit cycle - send cycle.
+  std::array<std::uint64_t, kDeliveryLagBuckets> lag_histogram{};
+
+  void RecordDelivery(std::uint64_t lag) {
+    ++delivered;
+    ++lag_histogram[lag < kDeliveryLagBuckets ? lag : kDeliveryLagBuckets - 1];
+  }
+
+  /// Smallest lag L such that at least `p` (in [0, 1]) of all delivered
+  /// messages had lag <= L; -1 when nothing was delivered. The last bucket
+  /// reports as kDeliveryLagBuckets - 1 ("or longer").
+  double LagPercentile(double p) const;
+
+  /// Adds every counter of `other`; max_in_flight takes the maximum.
+  void MergeFrom(const DeliveryStats& other);
+
+  /// Per-counter difference (this - earlier) for phase deltas.
+  /// max_in_flight keeps this side's running peak (peaks do not subtract).
+  DeliveryStats Since(const DeliveryStats& earlier) const;
 };
 
 }  // namespace p3q

@@ -139,5 +139,28 @@ TEST(P3qSimScenarioCli, DiurnalJsonReportIsCompleteAndDeterministic) {
   std::remove(path_b.c_str());
 }
 
+TEST(P3qSimScenarioCli, LatencyFlagIsValidatedAndDeterministic) {
+  EXPECT_NE(RunCli("--latency=bogus"), 0);
+  EXPECT_NE(RunCli("--loss=1.5"), 0);
+  EXPECT_NE(RunCli("--latency=fixed:2 --loss=0.1"), 0);
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/p3q_lagged_a.json";
+  const std::string path_b = dir + "/p3q_lagged_b.json";
+  const std::string args =
+      "--scenario=steady-state --latency=uniform:1:3 --users=60 "
+      "--cycle-scale=0.2 --seed=5 --json=";
+  ASSERT_EQ(RunCli(args + "\"" + path_a + "\""), 0);
+  ASSERT_EQ(RunCli(args + "\"" + path_b + "\""), 0);
+  const std::string json = ReadFileOrEmpty(path_a);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"latency\": \"uniform:1:3\""), std::string::npos);
+  EXPECT_NE(json.find("\"delivery\""), std::string::npos);
+  EXPECT_EQ(json, ReadFileOrEmpty(path_b))
+      << "equal-seed lagged runs must produce byte-identical reports";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 }  // namespace
 }  // namespace p3q

@@ -176,7 +176,7 @@ TEST(ScenarioModel, DutyCycleHelpers) {
 
 TEST(ScenarioRegistry, AllBuiltInScenariosAreWellFormed) {
   const std::vector<std::string> names = RegisteredScenarioNames();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 10u);
   for (const std::string& name : names) {
     EXPECT_TRUE(HasScenario(name));
     const Scenario scenario = MakeScenario(name);
@@ -188,10 +188,15 @@ TEST(ScenarioRegistry, AllBuiltInScenariosAreWellFormed) {
   // The catalogue the ISSUE/README promise.
   for (const char* expected :
        {"steady-state", "massive-departure", "diurnal", "flash-crowd",
-        "update-storm", "churn-grind", "cold-start-query", "mixed-stress"}) {
+        "update-storm", "churn-grind", "cold-start-query", "mixed-stress",
+        "lagged-steady", "lossy-flash-crowd"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
+  // The delivery-latency variants actually carry non-zero latency models.
+  EXPECT_EQ(MakeScenario("lagged-steady").latency.Name(), "fixed:2");
+  EXPECT_EQ(MakeScenario("lossy-flash-crowd").latency.Name(), "lossy:0.1:3");
+  EXPECT_TRUE(MakeScenario("steady-state").latency.IsZero());
 }
 
 TEST(ScenarioRegistry, UnknownScenarioThrows) {
@@ -248,6 +253,124 @@ TEST(ScenarioRunner, ParallelDeterminismAcrossThreadCounts) {
       }
     }
   }
+}
+
+// The delivery determinism matrix (the PR's acceptance criterion): every
+// LatencyModel must produce byte-identical JSON and CSV reports for every
+// --threads value, because delay/loss draws come from per-(cycle, node)
+// forked streams and the queue drains in canonical (due, sender, seq) order.
+TEST(ScenarioRunner, LatencyModelDeterminismMatrixAcrossThreadCounts) {
+  for (const char* model : {"zero", "fixed:2", "uniform:1:3", "lossy:0.15:4"}) {
+    LatencySpec spec;
+    ASSERT_EQ(ParseLatencySpec(model, &spec), "");
+    ScenarioRunnerOptions options = TinyOptions();
+    options.latency = spec;
+    std::string base_json, base_csv;
+    for (const int threads : {1, 2, 8}) {
+      options.threads = threads;
+      const ScenarioReport report =
+          RunScenario(MakeScenario("steady-state"), options);
+      const std::string json = ScenarioReportToJson(report);
+      const std::string csv = ScenarioReportToCsv(report);
+      if (threads == 1) {
+        base_json = json;
+        base_csv = csv;
+      } else {
+        EXPECT_EQ(json, base_json)
+            << model << " at " << threads << " threads diverged (JSON)";
+        EXPECT_EQ(csv, base_csv)
+            << model << " at " << threads << " threads diverged (CSV)";
+      }
+    }
+  }
+}
+
+// The delivery block (and its CSV columns) appear only under a non-zero
+// latency model, so ZeroLatency reports stay byte-identical to the
+// pre-delivery engine's output.
+TEST(ScenarioReportWriter, DeliveryBlockGatedOnNonZeroLatency) {
+  const ScenarioReport zero =
+      RunScenario(MakeScenario("steady-state"), TinyOptions());
+  const std::string zero_json = ScenarioReportToJson(zero);
+  const std::string zero_csv = ScenarioReportToCsv(zero);
+  EXPECT_EQ(zero_json.find("\"delivery\""), std::string::npos);
+  EXPECT_EQ(zero_json.find("\"latency\""), std::string::npos);
+  EXPECT_EQ(zero_csv.find("delivery_enqueued"), std::string::npos);
+
+  const ScenarioReport lagged =
+      RunScenario(MakeScenario("lagged-steady"), TinyOptions());
+  const std::string lagged_json = ScenarioReportToJson(lagged);
+  const std::string lagged_csv = ScenarioReportToCsv(lagged);
+  EXPECT_NE(lagged_json.find("\"latency\": \"fixed:2\""), std::string::npos);
+  EXPECT_NE(lagged_json.find("\"delivery\""), std::string::npos);
+  EXPECT_NE(lagged_json.find("\"lag_histogram\""), std::string::npos);
+  EXPECT_NE(lagged_csv.find("delivery_enqueued"), std::string::npos);
+  EXPECT_NE(lagged_csv.find("fixed:2"), std::string::npos);
+  EXPECT_GT(lagged.total_delivery.delivered, 0u);
+}
+
+// The CLI/options latency override wins over the scenario's own block.
+TEST(ScenarioRunner, OptionsLatencyOverridesTheScenario) {
+  ScenarioRunnerOptions options = TinyOptions();
+  LatencySpec fixed1;
+  fixed1.kind = LatencyKind::kFixed;
+  fixed1.fixed = 1;
+  options.latency = fixed1;
+  const ScenarioReport report =
+      RunScenario(MakeScenario("lagged-steady"), options);
+  EXPECT_EQ(report.latency.Name(), "fixed:1");
+  // Every delivered message lagged exactly one cycle.
+  EXPECT_EQ(report.total_delivery.lag_histogram[1],
+            report.total_delivery.delivered);
+}
+
+// Golden delivery-lag histograms: any change to the delivery queue, the
+// latency-model draws or the stream derivation shows up here as a diff to
+// update deliberately. lagged-steady (FixedLatency{2}) must put every
+// delivery in the lag-2 bucket; lossy-flash-crowd (LossyLatency{0.10, 3})
+// spreads across lags 0..3 and drops a deterministic count.
+TEST(ScenarioGoldenReport, LaggedSteadyLagHistogramMatchesGolden) {
+  const ScenarioReport report =
+      RunScenario(MakeScenario("lagged-steady"), TinyOptions());
+  const DeliveryStats& d = report.total_delivery;
+  EXPECT_EQ(d.enqueued, 660u);
+  EXPECT_EQ(d.delivered, 540u);
+  EXPECT_EQ(d.dropped, 0u);
+  EXPECT_EQ(d.stale_dropped, 0u);
+  EXPECT_EQ(d.max_in_flight, 180u);
+  for (std::size_t lag = 0; lag < kDeliveryLagBuckets; ++lag) {
+    EXPECT_EQ(d.lag_histogram[lag], lag == 2 ? 540u : 0u) << "lag " << lag;
+  }
+  EXPECT_EQ(report.phases.back().in_flight_at_end, 120u);
+  // The serialized totals pin the same numbers.
+  const std::string json = ScenarioReportToJson(report);
+  EXPECT_NE(json.find("\"lag_histogram\": [0, 0, 540]"), std::string::npos);
+}
+
+TEST(ScenarioGoldenReport, LossyFlashCrowdLagHistogramMatchesGolden) {
+  const ScenarioReport report =
+      RunScenario(MakeScenario("lossy-flash-crowd"), TinyOptions());
+  const DeliveryStats& d = report.total_delivery;
+  EXPECT_EQ(d.enqueued, 540u);
+  EXPECT_EQ(d.delivered, 461u);
+  EXPECT_EQ(d.dropped, 60u);
+  EXPECT_EQ(d.max_in_flight, 141u);
+  EXPECT_EQ(d.lag_histogram[0], 131u);
+  EXPECT_EQ(d.lag_histogram[1], 117u);
+  EXPECT_EQ(d.lag_histogram[2], 106u);
+  EXPECT_EQ(d.lag_histogram[3], 107u);
+  EXPECT_EQ(d.LagPercentile(0.50), 1.0);
+  EXPECT_EQ(d.LagPercentile(0.95), 3.0);
+}
+
+TEST(ScenarioModel, ValidateCatchesBadLatency) {
+  Scenario s;
+  s.name = "bad-latency";
+  s.phases.push_back(MixedPhase(5));
+  s.latency.kind = LatencyKind::kUniform;
+  s.latency.lo = 3;
+  s.latency.hi = 1;
+  EXPECT_NE(s.Validate(), "");
 }
 
 // The thread count is visible ONLY in the opt-in timing block, so default

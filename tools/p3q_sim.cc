@@ -13,6 +13,12 @@
 //   p3q_sim --list-scenarios
 //   p3q_sim --scenario=diurnal --users=600 --json=out.json
 //   p3q_sim --scenario=mixed-stress --cycle-scale=0.5 --csv=out.csv --timing
+//
+// Asynchronous delivery (the latency model between plan and commit):
+//
+//   p3q_sim --latency=fixed:2 --users=500 --queries=20
+//   p3q_sim --scenario=steady-state --latency=uniform:1:3 --json=out.json
+//   p3q_sim --loss=0.05 --converge=0.9 --lazy-cycles=300 --queries=0
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -32,6 +38,7 @@
 #include "scenario/registry.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
+#include "sim/delivery.h"
 
 namespace {
 
@@ -51,6 +58,9 @@ struct Options {
   int threads = 0;  // 0 = inherit the P3Q_THREADS environment default
   std::string trace_path;
   bool help = false;
+  // Delivery layer.
+  std::optional<p3q::LatencySpec> latency;
+  double converge = 0;  // >0: measure cycles-to-convergence at this ratio
   // Scenario engine.
   std::string scenario;
   bool list_scenarios = false;
@@ -78,6 +88,15 @@ void PrintUsage() {
       "  --seed=N           master seed (1)\n"
       "  --threads=N        plan-phase worker threads (default: P3Q_THREADS\n"
       "                     env or 1); results are byte-identical for every N\n"
+      "  --latency=MODEL    message-delivery latency model: zero (default),\n"
+      "                     fixed:K, uniform:LO:HI or lossy:P:MAX; overrides\n"
+      "                     a scenario's own latency block. Deterministic\n"
+      "                     and byte-identical for every --threads value\n"
+      "  --loss=P           shorthand for --latency=lossy:P:2 (cannot be\n"
+      "                     combined with a non-lossy --latency)\n"
+      "  --converge=R       classic mode: run lazy cycles until the success\n"
+      "                     ratio reaches R (checked every cycle, bounded by\n"
+      "                     --lazy-cycles) and print cycles_to_convergence\n"
       "\nScenario engine (timeline-driven workloads):\n"
       "  --list-scenarios   print the built-in scenarios and exit\n"
       "  --scenario=NAME    run a named scenario timeline instead of the\n"
@@ -107,6 +126,8 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 
 std::optional<Options> ParseArgs(int argc, char** argv) {
   Options opt;
+  std::string latency_text;
+  std::optional<double> loss;
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseFlag(argv[i], "--help", &value)) {
@@ -139,6 +160,20 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (ParseFlag(argv[i], "--threads", &value)) {
       opt.threads = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--latency", &value)) {
+      latency_text = value;
+    } else if (ParseFlag(argv[i], "--loss", &value)) {
+      double p = 0;
+      if (!p3q::ParseStrictDouble(value, &p)) {
+        std::cerr << "--loss: cannot parse '" << value << "'\n";
+        return std::nullopt;
+      }
+      loss = p;
+    } else if (ParseFlag(argv[i], "--converge", &value)) {
+      if (!p3q::ParseStrictDouble(value, &opt.converge)) {
+        std::cerr << "--converge: cannot parse '" << value << "'\n";
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--scenario", &value)) {
       opt.scenario = value;
     } else if (ParseFlag(argv[i], "--list-scenarios", &value)) {
@@ -182,6 +217,43 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
                  "supported in scenario mode\n";
     return std::nullopt;
   }
+  if (!latency_text.empty()) {
+    p3q::LatencySpec spec;
+    if (const std::string problem = p3q::ParseLatencySpec(latency_text, &spec);
+        !problem.empty()) {
+      std::cerr << "--latency: " << problem << "\n";
+      return std::nullopt;
+    }
+    opt.latency = spec;
+  }
+  if (loss.has_value()) {
+    if (*loss < 0.0 || *loss > 1.0) {
+      std::cerr << "--loss must be in [0, 1]\n";
+      return std::nullopt;
+    }
+    if (opt.latency.has_value() &&
+        opt.latency->kind != p3q::LatencyKind::kLossy) {
+      std::cerr << "--loss only combines with --latency=lossy:P:MAX (use "
+                   "that form directly)\n";
+      return std::nullopt;
+    }
+    p3q::LatencySpec spec =
+        opt.latency.value_or(p3q::LatencySpec{p3q::LatencyKind::kLossy,
+                                              /*fixed=*/0, /*lo=*/0, /*hi=*/0,
+                                              /*loss=*/0.0, /*max_delay=*/2});
+    spec.kind = p3q::LatencyKind::kLossy;
+    spec.loss = *loss;
+    opt.latency = spec;
+  }
+  if (opt.converge < 0 || opt.converge > 1.0) {
+    std::cerr << "--converge must be in (0, 1]\n";
+    return std::nullopt;
+  }
+  if (opt.converge > 0 && !opt.scenario.empty()) {
+    std::cerr << "--converge applies to the classic pipeline, not scenario "
+                 "mode\n";
+    return std::nullopt;
+  }
   return opt;
 }
 
@@ -197,11 +269,18 @@ int RunScenarioMode(const Options& opt) {
   options.alpha = opt.alpha;
   options.top_k = opt.top_k;
   options.threads = opt.threads;
+  options.latency = opt.latency;  // unset = the scenario's own model
 
   const Scenario scenario = MakeScenario(opt.scenario);
   std::cout << "scenario: " << scenario.name << " — " << scenario.description
             << "\nusers: " << opt.users << ", seed: " << opt.seed
-            << ", cycle scale: " << opt.cycle_scale << "\n\n";
+            << ", cycle scale: " << opt.cycle_scale;
+  const LatencySpec effective_latency =
+      opt.latency.value_or(scenario.latency);
+  if (!effective_latency.IsZero()) {
+    std::cout << ", latency: " << effective_latency.Name();
+  }
+  std::cout << "\n\n";
   ScenarioReport report;
   try {
     report = RunScenario(scenario, options);
@@ -240,6 +319,15 @@ int RunScenarioMode(const Options& opt) {
             << " user-cycles/s (wall "
             << TablePrinter::Fmt(report.total_timing.wall_seconds, 3)
             << " s)\n";
+  if (!effective_latency.IsZero()) {
+    const DeliveryStats& d = report.total_delivery;
+    std::cout << "delivery: " << d.enqueued << " sent, " << d.delivered
+              << " delivered, " << d.dropped << " dropped, "
+              << d.stale_dropped << " stale, lag p50/p95 "
+              << TablePrinter::Fmt(d.LagPercentile(0.50), 1) << "/"
+              << TablePrinter::Fmt(d.LagPercentile(0.95), 1)
+              << " cycles, peak in flight " << d.max_in_flight << "\n";
+  }
 
   if (!opt.json_path.empty() &&
       !WriteScenarioReportJson(report, opt.json_path, opt.timing)) {
@@ -333,14 +421,37 @@ int main(int argc, char** argv) {
   }
   P3QSystem system(dataset, config, per_user_c, opt.seed);
   if (opt.threads > 0) system.SetThreads(opt.threads);
+  if (opt.latency.has_value()) {
+    system.SetLatency(*opt.latency);
+    std::cout << "latency model: " << opt.latency->Name() << "\n";
+  }
   system.BootstrapRandomViews();
 
   // --- lazy convergence ---
   const IdealNetworks ideal = ComputeIdealNetworks(dataset, opt.network_size);
-  system.RunLazyCycles(static_cast<std::uint64_t>(opt.lazy_cycles));
-  std::cout << "after " << opt.lazy_cycles << " lazy cycles: success ratio "
-            << AverageSuccessRatio(system, ideal) << ", maintenance traffic "
-            << system.metrics().TotalBytes() / 1024.0 / 1024.0 << " MiB\n";
+  if (opt.converge > 0) {
+    // Run cycle by cycle until the success ratio crosses the target; the
+    // crossing cycle is the CI perf trajectory's convergence metric (it is
+    // deterministic in (users, seed, latency), so a baseline can gate it).
+    long converged_at = -1;
+    double ratio = 0;
+    for (int cycle = 1; cycle <= opt.lazy_cycles; ++cycle) {
+      system.RunLazyCycles(1);
+      ratio = AverageSuccessRatio(system, ideal);
+      if (ratio >= opt.converge) {
+        converged_at = cycle;
+        break;
+      }
+    }
+    std::cout << "cycles_to_convergence: " << converged_at
+              << "\nconvergence_success_ratio: " << ratio
+              << "\nconvergence_target: " << opt.converge << "\n";
+  } else {
+    system.RunLazyCycles(static_cast<std::uint64_t>(opt.lazy_cycles));
+    std::cout << "after " << opt.lazy_cycles << " lazy cycles: success ratio "
+              << AverageSuccessRatio(system, ideal) << ", maintenance traffic "
+              << system.metrics().TotalBytes() / 1024.0 / 1024.0 << " MiB\n";
+  }
 
   // --- dynamism ---
   if (opt.apply_updates && synthetic) {
