@@ -2,10 +2,14 @@
 """CI perf-trajectory harness.
 
 Runs the steady-state and lagged-steady scenarios with --timing, measures
-cycles-to-convergence with and without delivery latency, and emits:
+cycles-to-convergence with and without delivery latency, runs the
+bench_micro_similarity scoring benchmark (scalar vs batched kernel
+pairs/sec), and emits:
 
-  * BENCH_pr.json        — the run's structured perf snapshot (throughput,
-                           cycles-to-convergence, delivery-lag p50/p95);
+  * BENCH_pr.json        — the run's structured perf snapshot (scenario
+                           wall-clock/throughput, similarity-kernel
+                           pairs/sec, cycles-to-convergence, delivery-lag
+                           p50/p95);
   * bench-trajectory.csv — one appended row per measurement, tagged with the
                            git SHA, so artifact history forms a trajectory;
   * an exit status       — non-zero when cycles-to-convergence regressed
@@ -14,10 +18,12 @@ cycles-to-convergence with and without delivery latency, and emits:
 
 Convergence cycle counts are deterministic in (users, seed, latency) and
 thread-count independent (the engine's ForkStream contract), which is what
-makes a checked-in integer baseline gateable. Wall-clock throughput is
-recorded for the trajectory but never gated — it depends on the runner.
+makes a checked-in integer baseline gateable. Wall-clock and pairs/sec
+throughput are recorded for the trajectory but never gated — they depend on
+the runner.
 
-Stdlib only; no dependencies beyond python3 and the p3q_sim binary.
+Stdlib only; no dependencies beyond python3, the p3q_sim binary and
+(optionally) the bench_micro_similarity binary.
 """
 
 import argparse
@@ -77,6 +83,44 @@ def measure_scenario(sim, name, users, seed):
     return snapshot
 
 
+def measure_similarity_kernel(bench):
+    """pairs/sec of the scalar vs batched scoring kernel, or None.
+
+    Runs bench_micro_similarity's Paper* benchmarks (one node's profile
+    against a gossip-sized candidate batch from a delicious-like trace) and
+    reports items_per_second — pairs/sec — for both paths. Recorded for the
+    trajectory, never gated: absolute numbers depend on the runner, and the
+    kernels are exactness-tested by tests/score_kernel_test.cc.
+    """
+    if not bench or not os.path.exists(bench):
+        print("bench_micro_similarity not available; skipping kernel "
+              "throughput", flush=True)
+        return None
+    result = subprocess.run(
+        [bench, "--benchmark_filter=Paper", "--benchmark_format=json"],
+        capture_output=True, text=True)
+    if result.returncode != 0:
+        sys.stderr.write(f"bench_micro_similarity FAILED:\n{result.stderr}\n")
+        sys.exit(2)
+    report = json.loads(result.stdout)
+    rates = {}
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate":
+            continue
+        rates[entry["name"]] = entry.get("items_per_second")
+    scalar = rates.get("BM_PaperScalarPairs")
+    batched = rates.get("BM_PaperBatchedPairs")
+    if scalar is None or batched is None:
+        sys.stderr.write("Paper* benchmarks missing from "
+                         f"bench_micro_similarity output: {sorted(rates)}\n")
+        sys.exit(2)
+    return {
+        "scalar_pairs_per_sec": scalar,
+        "batched_pairs_per_sec": batched,
+        "batched_speedup": batched / scalar if scalar else 0.0,
+    }
+
+
 def measure_convergence(sim, model, users, seed, target, budget):
     """cycles_to_convergence for one latency model (deterministic)."""
     args = [f"--users={users}", f"--seed={seed}", f"--converge={target}",
@@ -93,9 +137,10 @@ def measure_convergence(sim, model, users, seed, target, budget):
 
 def append_trajectory(path, sha, bench):
     fields = ["git_sha", "kind", "name", "users", "seed", "threads", "cycles",
-              "total_messages", "total_bytes", "cycles_per_sec",
-              "user_cycles_per_sec", "lag_p50", "lag_p95", "dropped",
-              "cycles_to_convergence"]
+              "total_messages", "total_bytes", "wall_seconds",
+              "cycles_per_sec", "user_cycles_per_sec", "lag_p50", "lag_p95",
+              "dropped", "cycles_to_convergence", "pairs_per_sec_scalar",
+              "pairs_per_sec_batched", "kernel_speedup"]
     new_file = not os.path.exists(path) or os.path.getsize(path) == 0
     with open(path, "a", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fields)
@@ -108,12 +153,22 @@ def append_trajectory(path, sha, bench):
                 "threads": s["threads"], "cycles": s["cycles"],
                 "total_messages": s["total_messages"],
                 "total_bytes": s["total_bytes"],
+                "wall_seconds": s["wall_seconds"],
                 "cycles_per_sec": s["cycles_per_sec"],
                 "user_cycles_per_sec": s["user_cycles_per_sec"],
                 "lag_p50": s.get("delivery_lag_p50", ""),
                 "lag_p95": s.get("delivery_lag_p95", ""),
                 "dropped": s.get("delivery_dropped", ""),
                 "cycles_to_convergence": "",
+            })
+        kernel = bench.get("similarity_kernel")
+        if kernel is not None:
+            writer.writerow({
+                "git_sha": sha, "kind": "similarity-kernel",
+                "name": "paper-scale-batch",
+                "pairs_per_sec_scalar": kernel["scalar_pairs_per_sec"],
+                "pairs_per_sec_batched": kernel["batched_pairs_per_sec"],
+                "kernel_speedup": kernel["batched_speedup"],
             })
         for model, cycles in bench["convergence"].items():
             writer.writerow({
@@ -126,6 +181,9 @@ def append_trajectory(path, sha, bench):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sim", required=True, help="path to p3q_sim")
+    parser.add_argument("--bench", default="",
+                        help="path to bench_micro_similarity (optional; "
+                             "kernel throughput is skipped when absent)")
     parser.add_argument("--baseline", default="BENCH_baseline.json")
     parser.add_argument("--out", default="BENCH_pr.json")
     parser.add_argument("--trajectory", default="bench-trajectory.csv")
@@ -156,6 +214,8 @@ def main():
     for name in SCENARIOS:
         print(f"running scenario {name} at {users} users ...", flush=True)
         bench["scenarios"][name] = measure_scenario(args.sim, name, users, seed)
+    print("measuring similarity-kernel throughput ...", flush=True)
+    bench["similarity_kernel"] = measure_similarity_kernel(args.bench)
     for model in CONVERGENCE_MODELS:
         print(f"measuring cycles-to-convergence under {model} ...", flush=True)
         bench["convergence"][model] = measure_convergence(
@@ -166,6 +226,12 @@ def main():
         f.write("\n")
     append_trajectory(args.trajectory, sha, bench)
     print(f"wrote {args.out} and appended to {args.trajectory}")
+    kernel = bench["similarity_kernel"]
+    if kernel is not None:
+        print(f"similarity kernel: scalar "
+              f"{kernel['scalar_pairs_per_sec']:,.0f} pairs/s, batched "
+              f"{kernel['batched_pairs_per_sec']:,.0f} pairs/s "
+              f"({kernel['batched_speedup']:.2f}x) — recorded, not gated")
 
     if args.write_baseline:
         new_baseline = dict(baseline)

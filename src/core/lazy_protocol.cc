@@ -1,6 +1,7 @@
 #include "core/lazy_protocol.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <utility>
 
@@ -41,18 +42,61 @@ std::size_t ProposalWireBytes(const std::vector<DigestInfo>& proposals) {
 /// traffic, and emits an offer (with precomputed similarity score) for every
 /// survivor. Step 3 — offering to the personal network and the conditional
 /// full-profile transfer — happens at commit time.
+///
+/// Scoring is batched: a first rng-free pass runs the deterministic step-1
+/// screens (known-version, exact shares-an-item) and hands every surviving
+/// candidate to ONE PairInfoBatch kernel sweep; a second pass then replays
+/// the proposals drawing exactly the random values the per-pair scalar path
+/// drew (Bloom false-positive Bernoulli, spurious-common binomial), so the
+/// batched plan phase stays byte-identical to the sequential one.
 void ScreenProposals(P3QSystem* system, const P3QNode* receiver,
                      const std::vector<DigestInfo>& proposals, Rng* rng,
                      Metrics* traffic,
                      std::vector<ProfileExchangeOffer>* offers) {
   const Profile& mine = *receiver->profile();
-  for (const DigestInfo& d : proposals) {
+
+  // Pass 0 (no rng): step-1 screens that need no randomness, then the one
+  // batched kernel call. A candidate sharing no item with the receiver has
+  // an all-zero PairSimilarity by definition, so only genuinely overlapping
+  // pairs are scored (or cached) at all.
+  enum : signed char { kSkip = 0, kShares = 1, kNoShare = 2 };
+  std::vector<signed char> state(proposals.size(), kSkip);
+  std::vector<std::size_t> batch_slot(proposals.size(), 0);
+  std::vector<const Profile*> batch;
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    const DigestInfo& d = proposals[i];
     if (d.user == receiver->id()) continue;
     // Step 1 — digest screen: drop when we already hold this (or a newer)
-    // digest of the user, or when the Bloom digest shows no common item.
+    // digest of the user.
     const std::uint32_t known = receiver->network().KnownVersion(d.user);
     if (known != PersonalNetwork::kNoVersion && d.version() <= known) continue;
-    if (!DigestIndicatesCommonItem(mine, d, rng)) continue;
+    if (mine.SharesItemWith(*d.snapshot)) {
+      state[i] = kShares;
+      batch_slot[i] = batch.size();
+      batch.push_back(d.snapshot.get());
+    } else {
+      state[i] = kNoShare;
+    }
+  }
+  const std::vector<PairSimilarity> sims = system->PairInfoBatch(mine, batch);
+
+  // Pass 1 — replay with exactly the scalar path's rng draws: a genuine
+  // common item passes the Bloom screen without a draw; otherwise one
+  // Bernoulli decides the false positive, and every survivor draws the
+  // spurious-common binomial below.
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    if (state[i] == kSkip) continue;
+    const DigestInfo& d = proposals[i];
+    PairSimilarity sim;  // stays all-zero on the false-positive path
+    if (state[i] == kShares) {
+      sim = sims[batch_slot[i]];
+    } else {
+      // No shared item: the helper's recheck is known-false, so this draws
+      // exactly the false-positive Bernoulli — one source of truth for the
+      // Bloom screen's rng behaviour.
+      if (!DigestIndicatesCommonItem(mine, d, rng)) continue;
+    }
+    const double fpp = d.digest().EstimatedFpp();
 
     // Step 2 — the receiver derives the apparently-common items by testing
     // her own items against the candidate's Bloom digest (true common items
@@ -61,8 +105,6 @@ void ScreenProposals(P3QSystem* system, const P3QNode* receiver,
     // the request at 16 B per item hash, the response at 36 B per action —
     // which is how an undersized digest's false positives turn into wasted
     // step-2 traffic.
-    const PairSimilarity sim = system->PairInfo(mine, *d.snapshot);
-    const double fpp = d.digest().EstimatedFpp();
     const int spurious = rng->NextBinomial(
         static_cast<int>(mine.NumItems()) - static_cast<int>(sim.common_items),
         fpp);
@@ -218,8 +260,12 @@ void LazyProtocol::PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
   // memoized per (user, version) — re-probing an unchanged digest cannot
   // change the outcome, so this is behaviourally the paper's per-cycle
   // re-scoring at a fraction of the cost. The memo is node-private state,
-  // safe to update during the plan phase.
+  // safe to update during the plan phase. The screens (and their rng
+  // draws) run per digest exactly as before; the similarity scoring of the
+  // survivors is deferred to one batched kernel call, which cannot change
+  // the outcome because scoring consumes no randomness.
   const Profile& mine = *node->profile();
+  std::vector<DigestInfo> fetched;
   for (const DigestInfo& d : node->random_view().entries()) {
     if (!node->ShouldProbe(d.user, d.version())) continue;
     if (node->network().KnownVersion(d.user) != PersonalNetwork::kNoVersion &&
@@ -228,11 +274,22 @@ void LazyProtocol::PlanBottomLayer(P3QNode* node, const PlanContext& ctx,
     }
     if (!DigestIndicatesCommonItem(mine, d, ctx.rng)) continue;
     if (!net.IsOnline(d.user)) continue;
-    const ProfilePtr current = system_->profile_store().Get(d.user);
+    ProfilePtr current = system_->profile_store().Get(d.user);
     traffic.Record(MessageType::kDirectProfileFetch, current->WireBytes());
-    const std::uint64_t score = system_->ScoreBetween(mine, *current);
+    fetched.push_back(DigestInfo{d.user, std::move(current)});
+  }
+  if (fetched.empty()) return;
+  std::vector<const Profile*> candidates;
+  candidates.reserve(fetched.size());
+  for (const DigestInfo& d : fetched) candidates.push_back(d.snapshot.get());
+  const std::vector<PairSimilarity> sims =
+      system_->PairInfoBatch(mine, candidates);
+  for (std::size_t i = 0; i < fetched.size(); ++i) {
+    const std::uint64_t score =
+        SimilarityScore(system_->config().similarity, sims[i].score,
+                        mine.Length(), fetched[i].snapshot->Length());
     if (score == 0) continue;
-    plan->probes.push_back(PlannedProbe{score, DigestInfo{d.user, current}});
+    plan->probes.push_back(PlannedProbe{score, std::move(fetched[i])});
   }
 }
 

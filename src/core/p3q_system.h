@@ -179,7 +179,18 @@ class P3QSystem {
   /// sharded by key hash with one lock per shard, so the engines' parallel
   /// plan phases share it; memoizing a pure function keeps the results
   /// deterministic regardless of which thread populates an entry first.
+  /// Misses are computed by the block-bitmap kernel (profile/score_kernel.h)
+  /// — exact, byte-identical to the scalar reference merge.
   PairSimilarity PairInfo(const Profile& a, const Profile& b);
+
+  /// Batched PairInfo: one result per candidate, each oriented to
+  /// (a, candidates[i]). Cache hits are collected first (one short stripe
+  /// lock per lookup); all misses are then computed in ONE batched kernel
+  /// sweep outside the stripe locks — a's index stays cache-hot across the
+  /// whole candidate set — and inserted afterwards. This is what the plan
+  /// phases call once per node per cycle instead of per-pair PairInfo.
+  std::vector<PairSimilarity> PairInfoBatch(
+      const Profile& a, const std::vector<const Profile*>& candidates);
 
   /// The configured similarity metric applied to the pair (what the
   /// personal networks rank by).
@@ -206,9 +217,14 @@ class P3QSystem {
     }
   };
 
+  /// Canonical (owner, version) cache key of a pair; `swapped` reports
+  /// whether the (a, b) argument order was flipped to low/high owner order.
+  static PairKey MakePairKey(const Profile& a, const Profile& b,
+                             bool* swapped);
+
   /// Lock striping for the pair-similarity cache: plan-phase threads mostly
   /// hit different stripes, and a stripe's lock is held only for the map
-  /// lookup/insert, never during ComputePairSimilarity.
+  /// lookup/insert, never while the similarity kernel runs.
   static constexpr std::size_t kPairCacheStripes = 64;
   struct PairCacheStripe {
     std::mutex mu;

@@ -19,6 +19,7 @@ Profile::Profile(UserId owner, std::vector<ActionKey> actions,
       last = item;
     }
   }
+  index_ = ScoreIndex::Build(actions_);
 }
 
 bool Profile::Contains(ItemId item, TagId tag) const {
@@ -51,7 +52,7 @@ std::size_t CountCommonActions(const std::vector<ActionKey>& a,
 }
 
 std::size_t Profile::SimilarityWith(const Profile& other) const {
-  return CountCommonActions(actions_, other.actions_);
+  return KernelIntersectionCount(*this, other);
 }
 
 std::vector<ItemId> Profile::CommonItems(const Profile& other) const {
@@ -77,21 +78,7 @@ std::vector<ItemId> Profile::CommonItems(const Profile& other) const {
 }
 
 bool Profile::SharesItemWith(const Profile& other) const {
-  std::size_t i = 0, j = 0;
-  const auto& a = actions_;
-  const auto& b = other.actions_;
-  while (i < a.size() && j < b.size()) {
-    const ItemId ia = ActionItem(a[i]);
-    const ItemId ib = ActionItem(b[j]);
-    if (ia < ib) {
-      ++i;
-    } else if (ib < ia) {
-      ++j;
-    } else {
-      return true;
-    }
-  }
-  return false;
+  return KernelSharesItem(*this, other);
 }
 
 std::vector<ActionKey> Profile::ActionsOnItems(

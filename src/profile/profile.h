@@ -20,6 +20,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "common/types.h"
+#include "profile/score_kernel.h"
 
 namespace p3q {
 
@@ -46,6 +47,10 @@ class Profile {
   /// Bloom digest over the profile's items (what gossip messages carry).
   const BloomFilter& digest() const { return digest_; }
 
+  /// Block-bitmap scoring index (profile/score_kernel.h), built once at
+  /// snapshot construction; what the batched similarity kernels run on.
+  const ScoreIndex& index() const { return index_; }
+
   /// True when the action Tagged(item, tag) is present.
   bool Contains(ItemId item, TagId tag) const;
 
@@ -53,13 +58,15 @@ class Profile {
   bool ContainsItem(ItemId item) const;
 
   /// Similarity score: number of tagging actions shared with other.
+  /// Runs on the block-bitmap kernel; exact.
   std::size_t SimilarityWith(const Profile& other) const;
 
   /// Items present in both profiles (sorted ascending).
   std::vector<ItemId> CommonItems(const Profile& other) const;
 
   /// True when the two profiles share at least one item (exact check; the
-  /// digest gives the probabilistic version).
+  /// digest gives the probabilistic version). Runs on the item-bitmap
+  /// kernel with an early exit on the first matching block.
   bool SharesItemWith(const Profile& other) const;
 
   /// All actions of this profile whose item belongs to `items` (sorted input
@@ -73,7 +80,9 @@ class Profile {
       const std::vector<TagId>& sorted_query_tags) const;
 
   /// Wire cost of shipping the full profile (36 B per action, Section 3.3).
-  std::size_t WireBytes() const { return actions_.size() * kBytesPerTaggingAction; }
+  std::size_t WireBytes() const {
+    return actions_.size() * kBytesPerTaggingAction;
+  }
 
  private:
   UserId owner_;
@@ -81,32 +90,23 @@ class Profile {
   std::vector<ActionKey> actions_;
   std::size_t num_items_;
   BloomFilter digest_;
+  ScoreIndex index_;
 };
 
 /// Shared handle to an immutable profile snapshot. Copying a replica is one
 /// refcount increment regardless of profile size.
 using ProfilePtr = std::shared_ptr<const Profile>;
 
-/// Counts the common actions of two sorted unique action vectors (the
-/// similarity kernel; exposed for tests and benchmarks).
+/// Counts the common actions of two sorted unique action vectors with a
+/// scalar element-at-a-time merge — the reference the block-bitmap kernel
+/// (profile/score_kernel.h) is differential-tested and benchmarked against.
 std::size_t CountCommonActions(const std::vector<ActionKey>& a,
                                const std::vector<ActionKey>& b);
 
-/// Everything the lazy-mode 3-step exchange needs to know about a profile
-/// pair, computed in one merge pass:
-///  - score: |Profile(a) ∩ Profile(b)| (the similarity),
-///  - common_items: items tagged by both,
-///  - a_actions_on_common / b_actions_on_common: how many of each side's
-///    actions concern common items (step 2 of Algorithm 1 ships exactly
-///    those actions, so they drive the byte accounting).
-struct PairSimilarity {
-  std::uint64_t score = 0;
-  std::uint32_t common_items = 0;
-  std::uint32_t a_actions_on_common = 0;
-  std::uint32_t b_actions_on_common = 0;
-};
-
-/// Computes PairSimilarity for two profiles.
+/// Computes PairSimilarity (profile/score_kernel.h) for two profiles with
+/// the scalar reference merge. Production scoring goes through
+/// KernelPairSimilarity / P3QSystem::PairInfoBatch instead; this stays as
+/// the independent implementation the differential tests compare to.
 PairSimilarity ComputePairSimilarity(const Profile& a, const Profile& b);
 
 }  // namespace p3q

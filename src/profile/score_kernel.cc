@@ -1,0 +1,347 @@
+#include "profile/score_kernel.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "profile/profile.h"
+
+namespace p3q {
+namespace {
+
+/// First index >= `from` with arr[index] >= target, by exponential probe +
+/// binary search. O(log distance) instead of O(distance).
+std::size_t GallopTo(const std::uint64_t* arr, std::size_t n, std::size_t from,
+                     std::uint64_t target) {
+  std::size_t step = 1;
+  std::size_t lo = from;
+  while (lo + step < n && arr[lo + step] < target) {
+    lo += step;
+    step <<= 1;
+  }
+  const std::size_t hi = std::min(n, lo + step + 1);
+  return static_cast<std::size_t>(
+      std::lower_bound(arr + lo, arr + hi, target) - arr);
+}
+
+/// Merge-intersects two aligned (blocks, words) arrays, AND-ing words of
+/// matching blocks. The merge advances branchlessly on mismatches.
+std::size_t IntersectBlocksMerge(const std::uint64_t* ab,
+                                 const std::uint64_t* aw, std::size_t na,
+                                 const std::uint64_t* bb,
+                                 const std::uint64_t* bw, std::size_t nb) {
+  std::size_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const std::uint64_t x = ab[i];
+    const std::uint64_t y = bb[j];
+    if (x == y) {
+      count += static_cast<std::size_t>(std::popcount(aw[i] & bw[j]));
+      ++i;
+      ++j;
+    } else {
+      i += x < y;
+      j += y < x;
+    }
+  }
+  return count;
+}
+
+/// Galloping variant: for every block of the (smaller) a side, locate the
+/// block in the (larger) b side.
+std::size_t IntersectBlocksGallop(const std::uint64_t* ab,
+                                  const std::uint64_t* aw, std::size_t na,
+                                  const std::uint64_t* bb,
+                                  const std::uint64_t* bw, std::size_t nb) {
+  std::size_t count = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    j = GallopTo(bb, nb, j, ab[i]);
+    if (j < nb && bb[j] == ab[i]) {
+      count += static_cast<std::size_t>(std::popcount(aw[i] & bw[j]));
+    }
+  }
+  return count;
+}
+
+/// Exact number of equal keys in two sorted unique action runs (the runs of
+/// one common item — typically a handful of actions each).
+std::uint64_t MergeRuns(const ActionKey* a, std::uint32_t na,
+                        const ActionKey* b, std::uint32_t nb) {
+  std::uint64_t count = 0;
+  std::uint32_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const ActionKey x = a[i];
+    const ActionKey y = b[j];
+    count += x == y;
+    i += x <= y;
+    j += y <= x;
+  }
+  return count;
+}
+
+/// Accumulates one matched item block into the pair statistics: AND the two
+/// words, then rank-select every surviving bit into both sides' per-item
+/// count/offset arrays and merge the two action runs for the exact score.
+void AccumulateBlock(const ScoreIndex& ia, const std::vector<ActionKey>& va,
+                     std::size_t i, const ScoreIndex& ib,
+                     const std::vector<ActionKey>& vb, std::size_t j,
+                     PairSimilarity* sim) {
+  const std::uint64_t aw = ia.items.words[i];
+  const std::uint64_t bw = ib.items.words[j];
+  std::uint64_t both = aw & bw;
+  while (both != 0) {
+    const int bit = std::countr_zero(both);
+    both &= both - 1;
+    const std::uint64_t below = (std::uint64_t{1} << bit) - 1;
+    const std::uint32_t ai =
+        ia.item_rank[i] + static_cast<std::uint32_t>(std::popcount(aw & below));
+    const std::uint32_t bi =
+        ib.item_rank[j] + static_cast<std::uint32_t>(std::popcount(bw & below));
+    ++sim->common_items;
+    sim->a_actions_on_common += ia.item_counts[ai];
+    sim->b_actions_on_common += ib.item_counts[bi];
+    sim->score += MergeRuns(va.data() + ia.item_offsets[ai],
+                            ia.item_counts[ai], vb.data() + ib.item_offsets[bi],
+                            ib.item_counts[bi]);
+  }
+}
+
+/// Open-addressing hash of the base profile's item blocks, built once per
+/// batch: block id -> index into the base's item bitmap. Power-of-two
+/// sized, linear probing, ~2x load headroom; lives on the batch's stack
+/// frame, so it stays L1-hot across every candidate.
+class BlockHash {
+ public:
+  explicit BlockHash(const BlockBitmap& bitmap) {
+    std::size_t capacity = 16;
+    while (capacity < bitmap.size() * 2) capacity <<= 1;
+    mask_ = capacity - 1;
+    slots_.assign(capacity, kEmpty);
+    for (std::size_t i = 0; i < bitmap.size(); ++i) {
+      std::size_t slot = Hash(bitmap.blocks[i]);
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      slots_[slot] = (bitmap.blocks[i] << 20) | i;
+    }
+  }
+
+  /// Index of `block` in the base bitmap, or kNotFound.
+  std::size_t Find(std::uint64_t block) const {
+    std::size_t slot = Hash(block);
+    while (true) {
+      const std::uint64_t entry = slots_[slot];
+      if (entry == kEmpty) return kNotFound;
+      if ((entry >> 20) == block) return entry & 0xfffff;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  static constexpr std::size_t kNotFound = static_cast<std::size_t>(-1);
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  std::size_t Hash(std::uint64_t block) const {
+    return static_cast<std::size_t>(block * 0x9e3779b97f4a7c15ULL >> 40) &
+           mask_;
+  }
+
+  std::size_t mask_ = 0;
+  /// block id << 20 | index. Item blocks are ItemId >> 6 (at most 26 bits),
+  /// so 44 id bits and 20 index bits (1M blocks = 64M distinct items per
+  /// profile) hold any real profile with plenty of headroom.
+  std::vector<std::uint64_t> slots_;
+};
+
+}  // namespace
+
+BlockBitmap BlockBitmap::Build(const std::vector<std::uint64_t>& sorted_keys) {
+  BlockBitmap bitmap;
+  for (const std::uint64_t key : sorted_keys) {
+    const std::uint64_t block = key >> 6;
+    if (bitmap.blocks.empty() || bitmap.blocks.back() != block) {
+      bitmap.blocks.push_back(block);
+      bitmap.words.push_back(0);
+    }
+    bitmap.words.back() |= std::uint64_t{1} << (key & 63);
+  }
+  return bitmap;
+}
+
+ScoreIndex ScoreIndex::Build(const std::vector<ActionKey>& sorted_actions) {
+  ScoreIndex index;
+  index.actions = BlockBitmap::Build(sorted_actions);
+  std::vector<std::uint64_t> items;
+  for (std::size_t i = 0; i < sorted_actions.size(); ++i) {
+    const ItemId item = ActionItem(sorted_actions[i]);
+    if (items.empty() || items.back() != item) {
+      items.push_back(item);
+      index.item_counts.push_back(0);
+      index.item_offsets.push_back(static_cast<std::uint32_t>(i));
+    }
+    ++index.item_counts.back();
+  }
+  index.item_offsets.push_back(
+      static_cast<std::uint32_t>(sorted_actions.size()));
+  index.items = BlockBitmap::Build(items);
+  index.item_rank.reserve(index.items.size());
+  std::uint32_t rank = 0;
+  for (const std::uint64_t word : index.items.words) {
+    index.item_rank.push_back(rank);
+    rank += static_cast<std::uint32_t>(std::popcount(word));
+  }
+  return index;
+}
+
+std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b) {
+  const BlockBitmap& small = a.size() <= b.size() ? a : b;
+  const BlockBitmap& large = a.size() <= b.size() ? b : a;
+  if (small.size() * kGallopSkewRatio < large.size()) {
+    return IntersectBlocksGallop(small.blocks.data(), small.words.data(),
+                                 small.size(), large.blocks.data(),
+                                 large.words.data(), large.size());
+  }
+  return IntersectBlocksMerge(a.blocks.data(), a.words.data(), a.size(),
+                              b.blocks.data(), b.words.data(), b.size());
+}
+
+std::size_t IntersectGalloping(const std::uint64_t* a, std::size_t na,
+                               const std::uint64_t* b, std::size_t nb) {
+  if (na > nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  std::size_t count = 0;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    j = GallopTo(b, nb, j, a[i]);
+    if (j < nb && b[j] == a[i]) ++count;
+  }
+  return count;
+}
+
+std::size_t KernelIntersectionCount(const Profile& a, const Profile& b) {
+  const std::size_t na = a.actions().size();
+  const std::size_t nb = b.actions().size();
+  // Very skewed pairs gallop over the raw sorted action keys; everything
+  // else runs the word-AND + popcount block merge.
+  if (std::min(na, nb) * kGallopSkewRatio < std::max(na, nb)) {
+    return IntersectGalloping(a.actions().data(), na, b.actions().data(), nb);
+  }
+  return IntersectBitmaps(a.index().actions, b.index().actions);
+}
+
+bool KernelSharesItem(const Profile& a, const Profile& b) {
+  const BlockBitmap& x = a.index().items;
+  const BlockBitmap& y = b.index().items;
+  const BlockBitmap& small = x.size() <= y.size() ? x : y;
+  const BlockBitmap& large = x.size() <= y.size() ? y : x;
+  if (small.size() * kGallopSkewRatio < large.size()) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < small.size() && j < large.size(); ++i) {
+      j = GallopTo(large.blocks.data(), large.size(), j, small.blocks[i]);
+      if (j < large.size() && large.blocks[j] == small.blocks[i] &&
+          (small.words[i] & large.words[j]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+  std::size_t i = 0, j = 0;
+  while (i < small.size() && j < large.size()) {
+    const std::uint64_t bx = small.blocks[i];
+    const std::uint64_t by = large.blocks[j];
+    if (bx == by) {
+      if ((small.words[i] & large.words[j]) != 0) return true;
+      ++i;
+      ++j;
+    } else {
+      i += bx < by;
+      j += by < bx;
+    }
+  }
+  return false;
+}
+
+PairSimilarity KernelPairSimilarity(const Profile& a, const Profile& b) {
+  PairSimilarity sim;
+  const ScoreIndex& ia = a.index();
+  const ScoreIndex& ib = b.index();
+  const std::size_t na = ia.items.size();
+  const std::size_t nb = ib.items.size();
+
+  if (std::min(na, nb) * kGallopSkewRatio < std::max(na, nb)) {
+    // Galloping fallback: walk the smaller side's item blocks, locating
+    // each in the larger side.
+    const bool a_small = na <= nb;
+    const ScoreIndex& s = a_small ? ia : ib;
+    const ScoreIndex& l = a_small ? ib : ia;
+    const std::vector<ActionKey>& vs = a_small ? a.actions() : b.actions();
+    const std::vector<ActionKey>& vl = a_small ? b.actions() : a.actions();
+    PairSimilarity oriented;  // oriented to (small, large)
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < s.items.size() && j < l.items.size(); ++i) {
+      j = GallopTo(l.items.blocks.data(), l.items.size(), j,
+                   s.items.blocks[i]);
+      if (j < l.items.size() && l.items.blocks[j] == s.items.blocks[i]) {
+        AccumulateBlock(s, vs, i, l, vl, j, &oriented);
+      }
+    }
+    sim = oriented;
+    if (!a_small) {
+      std::swap(sim.a_actions_on_common, sim.b_actions_on_common);
+    }
+    return sim;
+  }
+
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const std::uint64_t x = ia.items.blocks[i];
+    const std::uint64_t y = ib.items.blocks[j];
+    if (x == y) {
+      AccumulateBlock(ia, a.actions(), i, ib, b.actions(), j, &sim);
+      ++i;
+      ++j;
+    } else {
+      i += x < y;
+      j += y < x;
+    }
+  }
+  return sim;
+}
+
+void KernelPairSimilarityBatch(const Profile& base,
+                               const Profile* const* candidates,
+                               std::size_t n, PairSimilarity* out) {
+  // Below a handful of candidates the per-batch hash build costs more than
+  // it saves; past 2^20 base item blocks the hash's packed index field
+  // would overflow into the block bits (a >64M-distinct-item profile — far
+  // beyond any real trace). Both take the setup-free pair kernel instead.
+  if (n < kMinHashBatch || base.index().items.size() > 0xfffff) {
+    for (std::size_t c = 0; c < n; ++c) {
+      out[c] = KernelPairSimilarity(base, *candidates[c]);
+    }
+    return;
+  }
+  const ScoreIndex& ib = base.index();
+  const BlockHash hash(ib.items);
+  for (std::size_t c = 0; c < n; ++c) {
+    const Profile& cand = *candidates[c];
+    const ScoreIndex& ic = cand.index();
+    // A candidate far larger than the base would pay O(candidate blocks)
+    // probes for nothing; the pair kernel's galloping path handles it.
+    if (ic.items.size() > ib.items.size() * kGallopSkewRatio) {
+      out[c] = KernelPairSimilarity(base, cand);
+      continue;
+    }
+    PairSimilarity sim;  // oriented to (candidate, base) while probing
+    for (std::size_t i = 0; i < ic.items.size(); ++i) {
+      const std::size_t j = hash.Find(ic.items.blocks[i]);
+      if (j == BlockHash::kNotFound) continue;
+      AccumulateBlock(ic, cand.actions(), i, ib, base.actions(), j, &sim);
+    }
+    std::swap(sim.a_actions_on_common, sim.b_actions_on_common);
+    out[c] = sim;
+  }
+}
+
+}  // namespace p3q

@@ -1,0 +1,146 @@
+// Batched similarity-scoring kernel — the protocol's hottest loop.
+//
+// Similarity scoring (|Profile(a) ∩ Profile(b)|, Section 2.1) dominates the
+// plan phase: personal-network maintenance screens and scores every gossip
+// candidate each cycle, so at scale the per-pair scalar merge of two sorted
+// action vectors is where the wall-clock goes. This module gives every
+// profile a compact 64-bit *block bitmap* built once at snapshot
+// construction: keys are bucketed into 64-key blocks (block id = key >> 6)
+// and each block carries one word with bit (key & 63) set per member.
+// Intersections then run as a merge over the (much shorter) block arrays
+// with word-AND + popcount on matching blocks — up to 64 element
+// comparisons collapse into one AND.
+//
+// The pair kernel works at the item level, like the scalar reference: the
+// item-block bitmaps are intersected (one AND + popcount finds all common
+// items of a 64-item range at once), each surviving bit is rank-selected
+// into the per-item count/offset arrays, and only the tiny action runs of
+// genuinely common items are merged for the exact score. The batched entry
+// point additionally builds a small open-addressing hash of the base
+// profile's item blocks ONCE per batch, so every candidate is scored with
+// O(candidate blocks) O(1) probes instead of a merge — that per-batch
+// amortization is where the pairs/sec multiple over the scalar path comes
+// from (bench/bench_micro_similarity.cc measures it).
+//
+// For very skewed pairs (one side much smaller than the other) a merge is
+// the wrong shape: the kernels fall back to galloping (exponential probe +
+// binary search) over the sorted block array of the larger side, which is
+// O(small * log(large)) instead of O(small + large).
+//
+// Every kernel returns *exact* intersection counts — bit-for-bit equal to
+// the scalar reference merges in profile.cc — so all four SimilarityMetrics
+// and every scenario golden are byte-identical regardless of which code
+// path scored a pair. The randomized differential suite in
+// tests/score_kernel_test.cc enforces this.
+#ifndef P3Q_PROFILE_SCORE_KERNEL_H_
+#define P3Q_PROFILE_SCORE_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace p3q {
+
+class Profile;
+
+/// Everything the lazy-mode 3-step exchange needs to know about a profile
+/// pair, computed in one kernel sweep:
+///  - score: |Profile(a) ∩ Profile(b)| (the similarity),
+///  - common_items: items tagged by both,
+///  - a_actions_on_common / b_actions_on_common: how many of each side's
+///    actions concern common items (step 2 of Algorithm 1 ships exactly
+///    those actions, so they drive the byte accounting).
+struct PairSimilarity {
+  std::uint64_t score = 0;
+  std::uint32_t common_items = 0;
+  std::uint32_t a_actions_on_common = 0;
+  std::uint32_t b_actions_on_common = 0;
+};
+
+/// A sorted key set bucketed into 64-key blocks: `blocks[i]` is a distinct
+/// key >> 6 (ascending) and `words[i]` has bit (key & 63) set for every
+/// member key of that block.
+struct BlockBitmap {
+  std::vector<std::uint64_t> blocks;
+  std::vector<std::uint64_t> words;
+
+  std::size_t size() const { return blocks.size(); }
+
+  /// Builds the bitmap of a sorted unique key vector.
+  static BlockBitmap Build(const std::vector<std::uint64_t>& sorted_keys);
+};
+
+/// Size ratio past which the kernels switch from the block-merge to
+/// galloping lookups of the smaller side in the larger one.
+inline constexpr std::size_t kGallopSkewRatio = 16;
+
+/// Batch size below which KernelPairSimilarityBatch skips building the
+/// per-batch hash of the base's item blocks and scores pair-by-pair — for
+/// a couple of candidates the setup costs more than the probes save.
+inline constexpr std::size_t kMinHashBatch = 8;
+
+/// Exact |a ∩ b| of two block bitmaps (word-AND + popcount merge; galloping
+/// over the larger side when the sizes are skewed).
+std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b);
+
+/// Exact |a ∩ b| of two sorted unique key arrays by galloping: every key of
+/// the smaller side is located in the larger side with an exponential probe
+/// + binary search. The explicit fallback for very sparse/skewed pairs.
+std::size_t IntersectGalloping(const std::uint64_t* a, std::size_t na,
+                               const std::uint64_t* b, std::size_t nb);
+
+/// Per-profile scoring index, built once at snapshot construction alongside
+/// the sorted action vector. Profiles are immutable, so the index is shared
+/// by every replica of the snapshot for free. Distinct items are
+/// represented implicitly by the item bitmap: the i-th set bit (in block,
+/// then bit order) is the i-th distinct item, located by rank-select —
+/// `item_rank[block] + popcount(word & (bit - 1))` — into the aligned
+/// count/offset arrays.
+struct ScoreIndex {
+  /// Block bitmap over the packed (item, tag) action keys — drives the
+  /// score-only intersection kernel.
+  BlockBitmap actions;
+  /// Block bitmap over the distinct item ids — drives the shares-an-item
+  /// screen and the pair kernel's common-item discovery.
+  BlockBitmap items;
+  /// Per item block: number of distinct items in earlier blocks (the
+  /// rank-select base).
+  std::vector<std::uint32_t> item_rank;
+  /// Per distinct item (ascending): its action count, and the offset of
+  /// its action run in the profile's sorted action vector. item_offsets
+  /// has one trailing entry holding the total action count.
+  std::vector<std::uint32_t> item_counts;
+  std::vector<std::uint32_t> item_offsets;
+
+  /// Builds the index of a sorted unique action vector.
+  static ScoreIndex Build(const std::vector<ActionKey>& sorted_actions);
+};
+
+/// Exact |Profile(a) ∩ Profile(b)| through the action block bitmaps (raw
+/// galloping intersection for very skewed pairs).
+std::size_t KernelIntersectionCount(const Profile& a, const Profile& b);
+
+/// True when the two profiles share at least one item (exact; the Bloom
+/// digest gives the probabilistic version). Early-exits on the first
+/// matching block.
+bool KernelSharesItem(const Profile& a, const Profile& b);
+
+/// PairSimilarity of one pair through the kernel — exact, equal to the
+/// scalar ComputePairSimilarity in profile.cc.
+PairSimilarity KernelPairSimilarity(const Profile& a, const Profile& b);
+
+/// The batched kernel: scores `base` against `n` candidate profiles in one
+/// sweep. Base's item blocks are loaded into a small open-addressing hash
+/// once, then every candidate runs O(1) probes per item block — the
+/// amortization that makes batching pay. Results are oriented to
+/// (base, candidate): a_actions_on_common counts base's actions. This is
+/// what the plan phase calls once per node per cycle.
+void KernelPairSimilarityBatch(const Profile& base,
+                               const Profile* const* candidates,
+                               std::size_t n, PairSimilarity* out);
+
+}  // namespace p3q
+
+#endif  // P3Q_PROFILE_SCORE_KERNEL_H_

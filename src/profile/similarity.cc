@@ -38,6 +38,21 @@ std::uint64_t SimilarityScore(SimilarityMetric metric, const Profile& a,
   return SimilarityScore(metric, a.SimilarityWith(b), a.Length(), b.Length());
 }
 
+bool ParseSimilarityMetric(const std::string& text, SimilarityMetric* out) {
+  if (text == "common" || text == "common_actions") {
+    *out = SimilarityMetric::kCommonActions;
+  } else if (text == "jaccard") {
+    *out = SimilarityMetric::kJaccard;
+  } else if (text == "cosine") {
+    *out = SimilarityMetric::kCosine;
+  } else if (text == "overlap") {
+    *out = SimilarityMetric::kOverlap;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 const char* SimilarityMetricName(SimilarityMetric metric) {
   switch (metric) {
     case SimilarityMetric::kCommonActions:

@@ -10,6 +10,7 @@
 #define P3Q_PROFILE_SIMILARITY_H_
 
 #include <cstdint>
+#include <string>
 
 #include "profile/profile.h"
 
@@ -41,6 +42,11 @@ std::uint64_t SimilarityScore(SimilarityMetric metric, const Profile& a,
 
 /// Human-readable metric name.
 const char* SimilarityMetricName(SimilarityMetric metric);
+
+/// Strictly parses a metric name: "common" (alias "common_actions"),
+/// "jaccard", "cosine" or "overlap". Returns false — leaving *out untouched
+/// — on anything else, including empty strings, prefixes and case variants.
+bool ParseSimilarityMetric(const std::string& text, SimilarityMetric* out);
 
 }  // namespace p3q
 

@@ -83,6 +83,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
       std::min(options.stored_profiles, config.network_size);
   config.alpha = options.alpha;
   config.top_k = options.top_k;
+  config.similarity = options.similarity;
   if (const std::string problem = config.Validate(); !problem.empty()) {
     throw std::invalid_argument("ScenarioRunnerOptions: " + problem);
   }

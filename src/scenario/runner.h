@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "profile/similarity.h"
 #include "scenario/scenario.h"
 #include "sim/delivery.h"
 #include "sim/metrics.h"
@@ -40,6 +41,10 @@ struct ScenarioRunnerOptions {
   double alpha = 0.5;
   /// Top-k size.
   int top_k = 10;
+  /// Personal-network distance (the --similarity CLI flag lands here). The
+  /// success-ratio baseline uses the same metric, so scenarios stay
+  /// comparable across metrics.
+  SimilarityMetric similarity = SimilarityMetric::kCommonActions;
   /// Worker threads for the engine's parallel plan phases; 0 inherits the
   /// P3Q_THREADS environment default (1). Reports are byte-identical for
   /// every value; only the timing block (opt-in) differs.

@@ -49,6 +49,7 @@ struct Options {
   double lambda = 0;  // >0: heterogeneous storage instead of uniform c
   double alpha = 0.5;
   int top_k = 10;
+  p3q::SimilarityMetric similarity = p3q::SimilarityMetric::kCommonActions;
   int lazy_cycles = 100;
   int eager_cycles = 15;
   int queries = 50;
@@ -80,6 +81,9 @@ void PrintUsage() {
       "  --lambda=X         heterogeneous storage, truncated Poisson(X)\n"
       "  --alpha=X          remaining-list split parameter (0.5)\n"
       "  --k=N              top-k size (10)\n"
+      "  --similarity=M     personal-network distance: common (default,\n"
+      "                     alias common_actions), jaccard, cosine or\n"
+      "                     overlap; anything else is rejected\n"
       "  --lazy-cycles=N    lazy maintenance cycles before querying (100)\n"
       "  --eager-cycles=N   eager cycles per query (15)\n"
       "  --queries=N        number of queries to run (50)\n"
@@ -146,6 +150,12 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.alpha = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--k", &value)) {
       opt.top_k = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--similarity", &value)) {
+      if (!p3q::ParseSimilarityMetric(value, &opt.similarity)) {
+        std::cerr << "--similarity: unknown metric '" << value
+                  << "' (expected common|jaccard|cosine|overlap)\n";
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--lazy-cycles", &value)) {
       opt.lazy_cycles = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--eager-cycles", &value)) {
@@ -268,6 +278,7 @@ int RunScenarioMode(const Options& opt) {
   options.stored_profiles = opt.stored;
   options.alpha = opt.alpha;
   options.top_k = opt.top_k;
+  options.similarity = opt.similarity;
   options.threads = opt.threads;
   options.latency = opt.latency;  // unset = the scenario's own model
 
@@ -275,6 +286,9 @@ int RunScenarioMode(const Options& opt) {
   std::cout << "scenario: " << scenario.name << " — " << scenario.description
             << "\nusers: " << opt.users << ", seed: " << opt.seed
             << ", cycle scale: " << opt.cycle_scale;
+  if (opt.similarity != SimilarityMetric::kCommonActions) {
+    std::cout << ", similarity: " << SimilarityMetricName(opt.similarity);
+  }
   const LatencySpec effective_latency =
       opt.latency.value_or(scenario.latency);
   if (!effective_latency.IsZero()) {
@@ -404,6 +418,7 @@ int main(int argc, char** argv) {
   config.stored_profiles = std::min(opt.stored, opt.network_size);
   config.alpha = opt.alpha;
   config.top_k = opt.top_k;
+  config.similarity = opt.similarity;
   if (const std::string error = config.Validate(); !error.empty()) {
     std::cerr << "invalid configuration: " << error << "\n";
     return 1;
@@ -420,6 +435,10 @@ int main(int argc, char** argv) {
     std::cout << "storage: uniform c = " << config.stored_profiles << "\n";
   }
   P3QSystem system(dataset, config, per_user_c, opt.seed);
+  if (config.similarity != SimilarityMetric::kCommonActions) {
+    std::cout << "similarity: " << SimilarityMetricName(config.similarity)
+              << "\n";
+  }
   if (opt.threads > 0) system.SetThreads(opt.threads);
   if (opt.latency.has_value()) {
     system.SetLatency(*opt.latency);
@@ -428,7 +447,8 @@ int main(int argc, char** argv) {
   system.BootstrapRandomViews();
 
   // --- lazy convergence ---
-  const IdealNetworks ideal = ComputeIdealNetworks(dataset, opt.network_size);
+  const IdealNetworks ideal =
+      ComputeIdealNetworks(dataset, opt.network_size, opt.similarity);
   if (opt.converge > 0) {
     // Run cycle by cycle until the success ratio crosses the target; the
     // crossing cycle is the CI perf trajectory's convergence metric (it is
