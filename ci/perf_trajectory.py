@@ -4,12 +4,14 @@
 Runs the steady-state and lagged-steady scenarios with --timing, measures
 cycles-to-convergence with and without delivery latency, runs the
 bench_micro_similarity scoring benchmark (scalar vs batched kernel
-pairs/sec), and emits:
+pairs/sec), runs the open-loop-steady serving scenario (query-latency
+p50/p95/p99 and queries/sec completed within the SLO), and emits:
 
   * BENCH_pr.json        — the run's structured perf snapshot (scenario
                            wall-clock/throughput, similarity-kernel
                            pairs/sec, cycles-to-convergence, delivery-lag
-                           p50/p95);
+                           p50/p95, serving latency percentiles and SLO
+                           goodput);
   * bench-trajectory.csv — one appended row per measurement, tagged with the
                            git SHA, so artifact history forms a trajectory;
   * an exit status       — non-zero when cycles-to-convergence regressed
@@ -121,6 +123,43 @@ def measure_similarity_kernel(bench):
     }
 
 
+def measure_serving(sim, users, seed):
+    """Open-loop serving snapshot: latency percentiles + SLO goodput.
+
+    The latency percentiles (in cycles) are deterministic in (users, seed);
+    queries/sec within the SLO is wall-clock goodput and depends on the
+    runner. Both are recorded for the trajectory, never gated.
+    """
+    name = "open-loop-steady"
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        run_sim(sim, [f"--scenario={name}", f"--users={users}",
+                      f"--seed={seed}", "--timing", f"--json={json_path}"])
+        with open(json_path) as f:
+            report = json.load(f)
+    finally:
+        os.unlink(json_path)
+
+    totals = report["totals"]
+    latency = totals["query_latency"]
+    timing = totals["timing"]
+    return {
+        "scenario": name,
+        "slo_cycles": report["slo_cycles"],
+        "issued": latency["issued"],
+        "completed": latency["completed"],
+        "completed_within_slo": latency["completed_within_slo"],
+        "abandoned": latency["abandoned"],
+        "latency_p50": latency["p50"],
+        "latency_p95": latency["p95"],
+        "latency_p99": latency["p99"],
+        "first_result_p50": latency["first_result_p50"],
+        "queries_per_sec": timing["queries_per_sec"],
+        "slo_queries_per_sec": timing["slo_queries_per_sec"],
+    }
+
+
 def measure_convergence(sim, model, users, seed, target, budget):
     """cycles_to_convergence for one latency model (deterministic)."""
     args = [f"--users={users}", f"--seed={seed}", f"--converge={target}",
@@ -140,7 +179,8 @@ def append_trajectory(path, sha, bench):
               "total_messages", "total_bytes", "wall_seconds",
               "cycles_per_sec", "user_cycles_per_sec", "lag_p50", "lag_p95",
               "dropped", "cycles_to_convergence", "pairs_per_sec_scalar",
-              "pairs_per_sec_batched", "kernel_speedup"]
+              "pairs_per_sec_batched", "kernel_speedup", "ql_p50", "ql_p95",
+              "ql_p99", "slo_queries_per_sec"]
     new_file = not os.path.exists(path) or os.path.getsize(path) == 0
     with open(path, "a", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fields)
@@ -169,6 +209,16 @@ def append_trajectory(path, sha, bench):
                 "pairs_per_sec_scalar": kernel["scalar_pairs_per_sec"],
                 "pairs_per_sec_batched": kernel["batched_pairs_per_sec"],
                 "kernel_speedup": kernel["batched_speedup"],
+            })
+        serving = bench.get("serving")
+        if serving is not None:
+            writer.writerow({
+                "git_sha": sha, "kind": "serving", "name": serving["scenario"],
+                "users": bench["users"], "seed": bench["seed"],
+                "ql_p50": serving["latency_p50"],
+                "ql_p95": serving["latency_p95"],
+                "ql_p99": serving["latency_p99"],
+                "slo_queries_per_sec": serving["slo_queries_per_sec"],
             })
         for model, cycles in bench["convergence"].items():
             writer.writerow({
@@ -216,6 +266,8 @@ def main():
         bench["scenarios"][name] = measure_scenario(args.sim, name, users, seed)
     print("measuring similarity-kernel throughput ...", flush=True)
     bench["similarity_kernel"] = measure_similarity_kernel(args.bench)
+    print(f"running open-loop serving at {users} users ...", flush=True)
+    bench["serving"] = measure_serving(args.sim, users, seed)
     for model in CONVERGENCE_MODELS:
         print(f"measuring cycles-to-convergence under {model} ...", flush=True)
         bench["convergence"][model] = measure_convergence(
@@ -232,6 +284,12 @@ def main():
               f"{kernel['scalar_pairs_per_sec']:,.0f} pairs/s, batched "
               f"{kernel['batched_pairs_per_sec']:,.0f} pairs/s "
               f"({kernel['batched_speedup']:.2f}x) — recorded, not gated")
+    serving = bench["serving"]
+    print(f"serving ({serving['scenario']}): latency p50/p95/p99 "
+          f"{serving['latency_p50']:.1f}/{serving['latency_p95']:.1f}/"
+          f"{serving['latency_p99']:.1f} cycles, "
+          f"{serving['slo_queries_per_sec']:,.1f} queries/s within the "
+          f"{serving['slo_cycles']}-cycle SLO — recorded, not gated")
 
     if args.write_baseline:
         new_baseline = dict(baseline)

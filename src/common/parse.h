@@ -1,0 +1,31 @@
+// Strict numeric parsing for CLI flags and spec strings.
+//
+// std::atof/atoi silently turn "abc" into 0 and stop at the first bad
+// character ("1.5x" reads as 1.5), which lets a typoed flag run a completely
+// different experiment. Every parser here consumes the WHOLE string via
+// std::from_chars and rejects empty input, trailing garbage, overflow and
+// non-finite values, so a bad flag is an error instead of a silent default.
+#ifndef P3Q_COMMON_PARSE_H_
+#define P3Q_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p3q {
+
+/// Parses a finite double ("0.5", "-1e3"). Rejects "", "O.1", "0.9x", NaN
+/// and infinities. Returns true and writes `out` only on success.
+bool ParseStrictDouble(const std::string& s, double* out);
+
+/// Parses a decimal int ("-3", "42"). Rejects "", "1.5", "7x", overflow.
+bool ParseStrictInt(const std::string& s, int* out);
+
+/// Parses a decimal int64.
+bool ParseStrictInt64(const std::string& s, std::int64_t* out);
+
+/// Parses a decimal uint64; a leading '-' is rejected rather than wrapped.
+bool ParseStrictUint64(const std::string& s, std::uint64_t* out);
+
+}  // namespace p3q
+
+#endif  // P3Q_COMMON_PARSE_H_

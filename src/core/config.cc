@@ -16,6 +16,7 @@ std::string P3QConfig::Validate() const {
   if (digest_hashes <= 0) return "digest_hashes must be positive";
   if (offline_retry < 0) return "offline_retry must be non-negative";
   if (eager_retry_cycles < 1) return "eager_retry_cycles must be positive";
+  if (eager_gossip_budget < 0) return "eager_gossip_budget must be non-negative";
   if (lazy_period_seconds <= 0) return "lazy_period_seconds must be positive";
   if (eager_period_seconds <= 0) return "eager_period_seconds must be positive";
   return "";

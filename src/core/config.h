@@ -40,6 +40,12 @@ struct P3QConfig {
   /// Should exceed the latency model's typical delay, or every hop is
   /// re-sent while still in flight.
   int eager_retry_cycles = 4;
+  /// Per-node per-cycle cap on planned eager task gossips; 0 = unlimited
+  /// (the paper's model: every task gossips once per cycle). A finite
+  /// budget makes per-node query capacity real — tasks beyond the budget
+  /// wait for a later cycle — so open-loop saturation sweeps can push the
+  /// system past its service rate and watch latency percentiles grow.
+  int eager_gossip_budget = 0;
   /// Lazy-mode period in seconds (paper: 60 s) — used only to convert cycle
   /// counts into wall-clock/bandwidth figures.
   double lazy_period_seconds = 60.0;

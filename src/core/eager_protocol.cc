@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "core/p3q_system.h"
@@ -211,8 +213,18 @@ void EagerProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
   }
   std::sort(qids.begin(), qids.end());
 
+  // With a finite eager_gossip_budget the node plans at most that many
+  // gossips this cycle; the scan starts at a cycle-rotated offset so no
+  // query id is structurally starved while the node is over budget.
+  const int budget = system_->config().eager_gossip_budget;
+  const std::size_t start =
+      budget > 0 ? static_cast<std::size_t>(ctx.cycle % qids.size()) : 0;
+  int planned = 0;
+
   auto message = std::make_unique<TaskGossipMessage>();
-  for (const std::uint64_t qid : qids) {
+  for (std::size_t i = 0; i < qids.size(); ++i) {
+    if (budget > 0 && planned >= budget) break;
+    const std::uint64_t qid = qids[(start + i) % qids.size()];
     EagerTask& task = node.tasks().at(qid);
     if (task.in_flight) {
       if (ctx.cycle < task.in_flight_until) continue;  // awaiting the reply
@@ -223,11 +235,20 @@ void EagerProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
       ++shard_reissues_[ctx.shard];
     }
     if (PlanGossip(&node, task, ctx, message.get())) {
+      ++planned;
       task.in_flight = true;
       task.in_flight_until = ctx.cycle + 1 +
                              static_cast<std::uint64_t>(
                                  system_->config().eager_retry_cycles);
     }
+  }
+  if (message->gossips.size() > 1) {
+    // The rotated scan can plan out of id order; restore it so the
+    // message's gossips commit in query-id order like the unbudgeted path.
+    std::sort(message->gossips.begin(), message->gossips.end(),
+              [](const PlannedGossip& a, const PlannedGossip& b) {
+                return a.query_id < b.query_id;
+              });
   }
   if (!message->gossips.empty()) ctx.Send(std::move(message));
 }
@@ -377,13 +398,27 @@ std::uint64_t EagerProtocol::late_partial_results_dropped() const {
 }
 
 void EagerProtocol::Forget(std::uint64_t id) {
-  QueryState& state = state_.at(id);
+  QueryState& state = StateOrThrow(id);
   // Keep the drop total monotone across Forget (phase deltas subtract).
   forgotten_late_results_ += state.query->late_results_dropped();
   for (UserId u : state.reached) {
     system_->node(u).tasks().erase(id);
   }
   state_.erase(id);
+}
+
+EagerProtocol::QueryState& EagerProtocol::StateOrThrow(std::uint64_t id) {
+  const auto it = state_.find(id);
+  if (it == state_.end()) {
+    throw std::out_of_range("unknown query id " + std::to_string(id) +
+                            " (never issued, or already forgotten)");
+  }
+  return it->second;
+}
+
+const EagerProtocol::QueryState& EagerProtocol::StateOrThrow(
+    std::uint64_t id) const {
+  return const_cast<EagerProtocol*>(this)->StateOrThrow(id);
 }
 
 }  // namespace p3q

@@ -77,19 +77,22 @@ class EagerProtocol : public CycleProtocol {
                      Rng* rng) override;
   void EndCycle(std::uint64_t cycle, Rng* rng) override;
 
-  ActiveQuery& query(std::uint64_t id) { return *state_.at(id).query; }
+  /// Every id-keyed accessor throws std::out_of_range naming the id for an
+  /// unknown (never issued, or already forgotten) query — the serving
+  /// harness polls many ids, so a silent mislookup would be load-bearing.
+  ActiveQuery& query(std::uint64_t id) { return *StateOrThrow(id).query; }
   const ActiveQuery& query(std::uint64_t id) const {
-    return *state_.at(id).query;
+    return *StateOrThrow(id).query;
   }
 
   /// True when no remaining list for the query exists anywhere.
   bool Complete(std::uint64_t id) const {
-    return state_.at(id).active_tasks == 0;
+    return StateOrThrow(id).active_tasks == 0;
   }
 
   /// Users the query's gossip has reached (includes the querier).
   const std::unordered_set<UserId>& Reached(std::uint64_t id) const {
-    return state_.at(id).reached;
+    return StateOrThrow(id).reached;
   }
 
   std::vector<std::uint64_t> AllQueryIds() const;
@@ -162,6 +165,11 @@ class EagerProtocol : public CycleProtocol {
 
   /// Applies one delivered gossip at commit time.
   void CommitGossip(P3QNode* node, PlannedGossip* gossip);
+
+  /// Looks up a query's state; throws std::out_of_range naming the id when
+  /// the query was never issued or has been forgotten.
+  QueryState& StateOrThrow(std::uint64_t id);
+  const QueryState& StateOrThrow(std::uint64_t id) const;
 
   /// Sums Score_{u,Q}(i) over the given profiles into a ranked list.
   static PartialResultMessage BuildPartialResult(

@@ -11,6 +11,13 @@ void ActiveQuery::DeliverPartialResult(PartialResultMessage message) {
     ++late_results_dropped_;
     return;
   }
+  // Deliveries before the cycle-0 snapshot are the querier's own local
+  // result; anything after comes from a remote collaborator, and the first
+  // one marks time-to-first-result (history_.size() snapshots exist after
+  // that many elapsed cycles, so it doubles as the cycles-since-issue lag).
+  if (!history_.empty() && first_result_cycle_ < 0) {
+    first_result_cycle_ = static_cast<std::int64_t>(history_.size());
+  }
   inbox_.push_back(std::move(message));
 }
 

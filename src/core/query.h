@@ -81,6 +81,11 @@ class ActiveQuery {
   /// are dropped.
   bool finalized() const { return finalized_; }
 
+  /// Cycles after issue at which the first REMOTE partial result arrived
+  /// (the local result computed at issue time does not count); -1 until one
+  /// arrives. The serving harness's time-to-first-result metric.
+  std::int64_t first_result_cycle() const { return first_result_cycle_; }
+
   /// Partial results that arrived after finalization and were dropped.
   std::uint64_t late_results_dropped() const { return late_results_dropped_; }
 
@@ -123,6 +128,7 @@ class ActiveQuery {
   QueryTraffic traffic_;
   bool finalized_ = false;
   std::uint64_t late_results_dropped_ = 0;
+  std::int64_t first_result_cycle_ = -1;
 };
 
 }  // namespace p3q

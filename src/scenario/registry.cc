@@ -185,6 +185,38 @@ Scenario LossyFlashCrowd() {
   return s;
 }
 
+Scenario OpenLoopSteady() {
+  Scenario s;
+  s.name = "open-loop-steady";
+  s.description =
+      "Converge, then serve an open-loop Poisson query stream (2/cycle "
+      "mean) for forty cycles: per-query latency percentiles and SLO "
+      "goodput instead of the closed-loop phase-boundary sample.";
+  s.arrivals.kind = ArrivalKind::kPoisson;
+  s.arrivals.rate = 2.0;
+  s.arrivals.slo_cycles = 8;
+  s.phases.push_back(Phase("converge", 40, PhaseMode::kLazy));
+  s.phases.push_back(Phase("serve", 40, PhaseMode::kMixed));
+  return s;
+}
+
+Scenario OpenLoopSaturation() {
+  Scenario s;
+  s.name = "open-loop-saturation";
+  s.description =
+      "The open-loop stream against a finite service rate (each node plans "
+      "at most one eager gossip per cycle): past the capacity knee, queries "
+      "queue and the latency percentiles grow — the saturation sweep's "
+      "target (--arrival-rate / --arrival-sweep override the rate).";
+  s.arrivals.kind = ArrivalKind::kPoisson;
+  s.arrivals.rate = 4.0;
+  s.arrivals.slo_cycles = 8;
+  s.eager_gossip_budget = 1;
+  s.phases.push_back(Phase("converge", 40, PhaseMode::kLazy));
+  s.phases.push_back(Phase("serve", 40, PhaseMode::kMixed));
+  return s;
+}
+
 Scenario MixedStress() {
   Scenario s;
   s.name = "mixed-stress";
@@ -221,6 +253,8 @@ constexpr RegistryEntry kRegistry[] = {
     {"mixed-stress", MixedStress},
     {"lagged-steady", LaggedSteady},
     {"lossy-flash-crowd", LossyFlashCrowd},
+    {"open-loop-steady", OpenLoopSteady},
+    {"open-loop-saturation", OpenLoopSaturation},
 };
 
 const RegistryEntry* FindEntry(const std::string& name) {

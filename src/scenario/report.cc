@@ -63,12 +63,70 @@ void AppendTrafficJson(const Metrics& traffic, const std::string& indent,
   *out << indent << "  }\n" << indent << "}";
 }
 
-void AppendTimingJson(const PhaseTiming& timing, std::ostringstream* out) {
+void AppendTimingJson(const PhaseTiming& timing, bool open_loop,
+                      std::ostringstream* out) {
   *out << "{\"threads\": " << timing.threads
        << ", \"wall_seconds\": " << Num(timing.wall_seconds)
        << ", \"cycles_per_sec\": " << Num(timing.cycles_per_sec, 1)
-       << ", \"user_cycles_per_sec\": " << Num(timing.user_cycles_per_sec, 1)
-       << "}";
+       << ", \"user_cycles_per_sec\": " << Num(timing.user_cycles_per_sec, 1);
+  if (open_loop) {
+    *out << ", \"queries_per_sec\": " << Num(timing.queries_per_sec, 1)
+         << ", \"slo_queries_per_sec\": " << Num(timing.slo_queries_per_sec, 1);
+  }
+  *out << "}";
+}
+
+/// Renders one latency percentile. A clamped histogram (observations past
+/// the last bucket) adds a `<key>_lower_bound` flag: the true percentile is
+/// >= the reported value, not equal to it. The flag never appears for
+/// unclamped histograms, so existing reports serialize unchanged.
+void AppendPercentileJson(const char* key, const PercentileValue& p,
+                          std::ostringstream* out) {
+  *out << "\"" << key << "\": " << Num(p.value, 2);
+  if (p.lower_bound) *out << ", \"" << key << "_lower_bound\": true";
+}
+
+/// Open-loop serving stats of one phase (or the run totals, with the extra
+/// abandoned count and the completion histogram trimmed to its last
+/// non-empty bucket).
+void AppendQueryLatencyJson(const QueryLatencyStats& q,
+                            const std::string& arrivals_name,
+                            std::size_t open_at_end, bool totals,
+                            std::ostringstream* out) {
+  *out << "{";
+  if (!totals) {
+    *out << "\"arrivals\": \""
+         << JsonEscape(arrivals_name.empty() ? "none" : arrivals_name)
+         << "\", ";
+  }
+  *out << "\"issued\": " << q.issued << ", \"completed\": " << q.completed
+       << ", \"completed_within_slo\": " << q.completed_within_slo
+       << ", \"first_results\": " << q.first_results;
+  if (totals) {
+    *out << ", \"abandoned\": " << q.abandoned;
+  } else {
+    *out << ", \"open_at_end\": " << open_at_end;
+  }
+  *out << ", ";
+  AppendPercentileJson("p50", q.CompletionPercentile(0.50), out);
+  *out << ", ";
+  AppendPercentileJson("p95", q.CompletionPercentile(0.95), out);
+  *out << ", ";
+  AppendPercentileJson("p99", q.CompletionPercentile(0.99), out);
+  *out << ", ";
+  AppendPercentileJson("first_result_p50", q.FirstResultPercentile(0.50), out);
+  if (totals) {
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < kQueryLatencyBuckets; ++i) {
+      if (q.completion_histogram[i] != 0) last = i;
+    }
+    *out << ", \"completion_histogram\": [";
+    for (std::size_t i = 0; i <= last; ++i) {
+      *out << (i > 0 ? ", " : "") << q.completion_histogram[i];
+    }
+    *out << "]";
+  }
+  *out << "}";
 }
 
 /// Delivery counters of one phase (or the totals, with the extra
@@ -80,9 +138,10 @@ void AppendDeliveryJson(const DeliveryStats& delivery,
   *out << "{\"enqueued\": " << delivery.enqueued
        << ", \"delivered\": " << delivery.delivered
        << ", \"dropped\": " << delivery.dropped
-       << ", \"in_flight_at_end\": " << in_flight_at_end
-       << ", \"lag_p50\": " << Num(delivery.LagPercentile(0.50), 2)
-       << ", \"lag_p95\": " << Num(delivery.LagPercentile(0.95), 2);
+       << ", \"in_flight_at_end\": " << in_flight_at_end << ", ";
+  AppendPercentileJson("lag_p50", delivery.LagPercentileBound(0.50), out);
+  *out << ", ";
+  AppendPercentileJson("lag_p95", delivery.LagPercentileBound(0.95), out);
   if (totals) {
     *out << ", \"stale_dropped\": " << delivery.stale_dropped
          << ", \"max_in_flight\": " << delivery.max_in_flight;
@@ -120,6 +179,9 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
     out << "  \"latency\": \"" << JsonEscape(report.latency.Name())
         << "\",\n";
   }
+  if (report.open_loop) {
+    out << "  \"slo_cycles\": " << report.slo_cycles << ",\n";
+  }
   out << "  \"phases\": [\n";
   for (std::size_t i = 0; i < report.phases.size(); ++i) {
     const PhaseReport& p = report.phases[i];
@@ -142,9 +204,14 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
       AppendDeliveryJson(p.delivery, p.in_flight_at_end, /*totals=*/false,
                          &out);
     }
+    if (report.open_loop) {
+      out << ",\n      \"query_latency\": ";
+      AppendQueryLatencyJson(p.query_latency, p.arrivals, p.open_queries_at_end,
+                             /*totals=*/false, &out);
+    }
     if (include_timing) {
       out << ",\n      \"timing\": ";
-      AppendTimingJson(p.timing, &out);
+      AppendTimingJson(p.timing, report.open_loop, &out);
     }
     out << "\n    }" << (i + 1 < report.phases.size() ? "," : "") << "\n";
   }
@@ -164,9 +231,14 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
     AppendDeliveryJson(report.total_delivery, in_flight_at_end,
                        /*totals=*/true, &out);
   }
+  if (report.open_loop) {
+    out << ",\n    \"query_latency\": ";
+    AppendQueryLatencyJson(report.total_query_latency, "", 0, /*totals=*/true,
+                           &out);
+  }
   if (include_timing) {
     out << ",\n    \"timing\": ";
-    AppendTimingJson(report.total_timing, &out);
+    AppendTimingJson(report.total_timing, report.open_loop, &out);
   }
   out << "\n  }\n}\n";
   return out.str();
@@ -190,8 +262,14 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
            "delivery_dropped,delivery_stale_dropped,in_flight_at_end,"
            "lag_p50,lag_p95";
   }
+  if (report.open_loop) {
+    out << ",arrivals,ql_issued,ql_completed,ql_within_slo,ql_first_results,"
+           "ql_abandoned,ql_open_at_end,ql_p50,ql_p95,ql_p99,"
+           "ql_p99_lower_bound,ql_first_result_p50";
+  }
   if (include_timing) {
     out << ",threads,wall_seconds,cycles_per_sec,user_cycles_per_sec";
+    if (report.open_loop) out << ",queries_per_sec,slo_queries_per_sec";
   }
   out << "\n";
 
@@ -200,7 +278,9 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
                  std::size_t departures, std::size_t rejoins, int issued,
                  int completed, double recall, double coverage, double success,
                  const Metrics& traffic, const DeliveryStats& delivery,
-                 std::size_t in_flight_at_end, const PhaseTiming& timing) {
+                 std::size_t in_flight_at_end, const std::string& arrivals,
+                 const QueryLatencyStats& query_latency,
+                 std::size_t open_queries_at_end, const PhaseTiming& timing) {
     out << report.scenario << "," << phase_name << "," << mode << "," << cycles
         << "," << online_at_end << "," << departures << "," << rejoins << ","
         << issued << "," << completed << "," << Num(recall) << ","
@@ -217,10 +297,26 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
           << Num(delivery.LagPercentile(0.50), 2) << ","
           << Num(delivery.LagPercentile(0.95), 2);
     }
+    if (report.open_loop) {
+      const PercentileValue p99 = query_latency.CompletionPercentile(0.99);
+      out << "," << (arrivals.empty() ? "none" : arrivals) << ","
+          << query_latency.issued << "," << query_latency.completed << ","
+          << query_latency.completed_within_slo << ","
+          << query_latency.first_results << "," << query_latency.abandoned
+          << "," << open_queries_at_end << ","
+          << Num(query_latency.CompletionPercentile(0.50).value, 2) << ","
+          << Num(query_latency.CompletionPercentile(0.95).value, 2) << ","
+          << Num(p99.value, 2) << "," << (p99.lower_bound ? 1 : 0) << ","
+          << Num(query_latency.FirstResultPercentile(0.50).value, 2);
+    }
     if (include_timing) {
       out << "," << timing.threads << "," << Num(timing.wall_seconds) << ","
           << Num(timing.cycles_per_sec, 1) << ","
           << Num(timing.user_cycles_per_sec, 1);
+      if (report.open_loop) {
+        out << "," << Num(timing.queries_per_sec, 1) << ","
+            << Num(timing.slo_queries_per_sec, 1);
+      }
     }
     out << "\n";
   };
@@ -228,7 +324,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
   for (const PhaseReport& p : report.phases) {
     row(p.name, p.mode, p.cycles, p.online_at_end, p.departures, p.rejoins,
         p.queries_issued, p.queries_completed, p.avg_recall, p.avg_coverage,
-        p.success_ratio, p.traffic, p.delivery, p.in_flight_at_end, p.timing);
+        p.success_ratio, p.traffic, p.delivery, p.in_flight_at_end, p.arrivals,
+        p.query_latency, p.open_queries_at_end, p.timing);
   }
   const PhaseReport* last = report.phases.empty() ? nullptr : &report.phases.back();
   row("total", "-", report.total_cycles,
@@ -239,7 +336,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
       last != nullptr ? last->avg_coverage : 0,
       last != nullptr ? last->success_ratio : 0, report.total_traffic,
       report.total_delivery,
-      last != nullptr ? last->in_flight_at_end : 0, report.total_timing);
+      last != nullptr ? last->in_flight_at_end : 0, "-",
+      report.total_query_latency, 0, report.total_timing);
   return out.str();
 }
 

@@ -11,7 +11,11 @@
 // counts, in-flight depth and delivery-lag percentiles, plus the lag
 // histogram in the totals; under the default ZeroLatency the block is
 // omitted entirely so output stays byte-identical to the synchronous
-// engine's.
+// engine's. Open-loop runs (any phase with an arrival process) likewise
+// carry a query_latency block per phase and in the totals — issue counts,
+// completion/first-result latency percentiles (flagged lower bounds when
+// the histogram clamped) and SLO goodput — omitted for closed-loop runs so
+// their output is unchanged.
 #ifndef P3Q_SCENARIO_REPORT_H_
 #define P3Q_SCENARIO_REPORT_H_
 

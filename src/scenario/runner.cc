@@ -13,6 +13,7 @@
 #include "dataset/query_gen.h"
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
+#include "serving/lifecycle.h"
 
 namespace p3q {
 namespace {
@@ -51,6 +52,38 @@ bool TryIssueQuery(P3QSystem* system, const Dataset& dataset,
   return false;
 }
 
+/// The arrival process a phase actually serves: the CLI override wins, then
+/// the phase's own block, then the scenario default; lazy phases never
+/// serve (no eager cycles run, so nothing could ever complete).
+const ArrivalSpec& EffectiveArrivals(const Scenario& scenario,
+                                     const ScenarioPhase& phase,
+                                     const ScenarioRunnerOptions& options) {
+  static const ArrivalSpec kNone;
+  if (phase.mode == PhaseMode::kLazy) return kNone;
+  if (options.arrivals.has_value()) return *options.arrivals;
+  if (phase.arrivals.has_value()) return *phase.arrivals;
+  return scenario.arrivals;
+}
+
+/// Issues one open-loop query from a uniformly random online user and hands
+/// it to the serving tracker with its issue-time centralized reference.
+void TryIssueServingQuery(P3QSystem* system, const Dataset& dataset,
+                          const std::vector<UserId>& online, Rng* serving_rng,
+                          std::uint64_t cycle, ServingTracker* tracker,
+                          QueryLatencyStats* stats) {
+  if (online.empty()) return;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const UserId u = online[serving_rng->NextUint64(online.size())];
+    QuerySpec spec = GenerateQueryForUser(dataset, u, serving_rng);
+    if (spec.tags.empty()) continue;
+    std::vector<ItemId> reference =
+        ReferenceTopK(*system, spec, system->config().top_k);
+    const std::uint64_t id = system->IssueQuery(spec);
+    tracker->Track(system, id, cycle, std::move(reference), stats);
+    return;
+  }
+}
+
 }  // namespace
 
 ScenarioReport RunScenario(const Scenario& scenario,
@@ -84,6 +117,7 @@ ScenarioReport RunScenario(const Scenario& scenario,
   config.alpha = options.alpha;
   config.top_k = options.top_k;
   config.similarity = options.similarity;
+  config.eager_gossip_budget = scenario.eager_gossip_budget;
   if (const std::string problem = config.Validate(); !problem.empty()) {
     throw std::invalid_argument("ScenarioRunnerOptions: " + problem);
   }
@@ -98,6 +132,13 @@ ScenarioReport RunScenario(const Scenario& scenario,
   // Workload randomness (querier choice, duty sampling, update batches) is
   // forked off the master seed, decorrelated from the system's own stream.
   Rng workload_rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  // Open-loop serving draws querier choices from its own forked stream so
+  // enabling the harness never perturbs the closed-loop workload stream
+  // (arrival counts have yet another, inside ArrivalProcess).
+  Rng serving_rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x8a5cd789635d2dffULL);
+  std::optional<ServingTracker> tracker;  // created at the first arrival phase
+  QueryLatencyStats serving_stats;
+  std::uint64_t serving_cycle = 0;  // global timeline cycle, across phases
 
   ScenarioReport report;
   report.scenario = scenario.name;
@@ -124,6 +165,24 @@ ScenarioReport RunScenario(const Scenario& scenario,
     pr.name = phase.name;
     pr.mode = PhaseModeName(phase.mode);
     pr.cycles = cycles;
+
+    const ArrivalSpec& phase_arrivals =
+        EffectiveArrivals(scenario, phase, options);
+    std::optional<ArrivalProcess> arrival_process;
+    if (!phase_arrivals.IsNone()) {
+      if (!tracker.has_value()) {
+        // The SLO/recall target of the run come from the first serving
+        // phase; later phases may change the rate but not the target.
+        tracker.emplace(phase_arrivals.slo_cycles,
+                        phase_arrivals.recall_target);
+        report.open_loop = true;
+        report.slo_cycles = phase_arrivals.slo_cycles;
+      }
+      arrival_process.emplace(phase_arrivals,
+                              options.seed + report.phases.size());
+      pr.arrivals = phase_arrivals.Name();
+    }
+    const QueryLatencyStats serving_before = serving_stats;
 
     std::vector<OpenQuery> open;
     const Metrics before = system.metrics().Snapshot();
@@ -197,7 +256,20 @@ ScenarioReport RunScenario(const Scenario& scenario,
         }
       }
 
-      // 4. Protocol cycles.
+      // 4. Open-loop arrivals (the serving workload rides the same cycle as
+      // the closed-loop background queries, but is tracked to completion).
+      if (arrival_process.has_value()) {
+        const int n = arrival_process->ArrivalsAt(cycle);
+        if (n > 0) {
+          const std::vector<UserId> online = system.network().OnlineUsers();
+          for (int i = 0; i < n; ++i) {
+            TryIssueServingQuery(&system, dataset, online, &serving_rng,
+                                 serving_cycle, &*tracker, &serving_stats);
+          }
+        }
+      }
+
+      // 5. Protocol cycles.
       online_cycle_sum += static_cast<double>(system.network().NumOnline());
       switch (phase.mode) {
         case PhaseMode::kLazy:
@@ -210,6 +282,15 @@ ScenarioReport RunScenario(const Scenario& scenario,
           system.RunLazyCycles(1);
           system.RunEagerCycles(1);
           break;
+      }
+
+      // 6. Serving lifecycle: poll open queries for first results and
+      // completions (a query issued this cycle completing right after its
+      // first eager cycle scores latency 1; latency 0 is issue-time-local
+      // completion inside Track).
+      ++serving_cycle;
+      if (tracker.has_value() && tracker->open() > 0) {
+        tracker->Poll(&system, serving_cycle, &serving_stats);
       }
     }
     const auto wall_end = std::chrono::steady_clock::now();
@@ -244,6 +325,8 @@ ScenarioReport RunScenario(const Scenario& scenario,
     pr.traffic = system.metrics().Since(before);
     pr.delivery = system.DeliveryStatsTotal().Since(delivery_before);
     pr.in_flight_at_end = system.MessagesInFlight();
+    pr.query_latency = serving_stats.Since(serving_before);
+    pr.open_queries_at_end = tracker.has_value() ? tracker->open() : 0;
 
     pr.timing.wall_seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
@@ -253,6 +336,12 @@ ScenarioReport RunScenario(const Scenario& scenario,
           static_cast<double>(cycles) / pr.timing.wall_seconds;
       pr.timing.user_cycles_per_sec =
           online_cycle_sum / pr.timing.wall_seconds;
+      pr.timing.queries_per_sec =
+          static_cast<double>(pr.query_latency.completed) /
+          pr.timing.wall_seconds;
+      pr.timing.slo_queries_per_sec =
+          static_cast<double>(pr.query_latency.completed_within_slo) /
+          pr.timing.wall_seconds;
     }
 
     report.total_cycles += pr.cycles;
@@ -263,6 +352,12 @@ ScenarioReport RunScenario(const Scenario& scenario,
     report.total_timing.wall_seconds += pr.timing.wall_seconds;
     report.phases.push_back(std::move(pr));
   }
+
+  // Queries still open when the timeline ends never completed: count them
+  // as abandoned in the run totals (the per-phase deltas are already
+  // closed, so no phase claims them as completions).
+  if (tracker.has_value()) tracker->Abandon(&system, &serving_stats);
+  report.total_query_latency = serving_stats;
 
   report.total_traffic = system.metrics().Snapshot();
   report.total_delivery = system.DeliveryStatsTotal();
@@ -277,6 +372,12 @@ ScenarioReport RunScenario(const Scenario& scenario,
         report.total_timing.wall_seconds;
     report.total_timing.user_cycles_per_sec =
         online_weighted / report.total_timing.wall_seconds;
+    report.total_timing.queries_per_sec =
+        static_cast<double>(report.total_query_latency.completed) /
+        report.total_timing.wall_seconds;
+    report.total_timing.slo_queries_per_sec =
+        static_cast<double>(report.total_query_latency.completed_within_slo) /
+        report.total_timing.wall_seconds;
   }
   return report;
 }

@@ -52,6 +52,10 @@ struct ScenarioRunnerOptions {
   /// When set, overrides the scenario's own latency model (the --latency /
   /// --loss CLI flags land here).
   std::optional<LatencySpec> latency;
+  /// When set, overrides the scenario's open-loop arrival process on every
+  /// eager/mixed phase (the --arrival-rate / --arrival-sweep CLI flags land
+  /// here) — the saturation-sweep knob.
+  std::optional<ArrivalSpec> arrivals;
 };
 
 /// Wall-clock throughput of a phase (the only thread-count-dependent part
@@ -61,6 +65,10 @@ struct PhaseTiming {
   double wall_seconds = 0;
   double cycles_per_sec = 0;
   double user_cycles_per_sec = 0;  ///< cycles/sec × online users (work rate)
+  /// Open-loop goodput (wall clock): completions / completions within the
+  /// SLO per second; 0 when the run serves no open-loop queries.
+  double queries_per_sec = 0;
+  double slo_queries_per_sec = 0;
   int threads = 1;                 ///< plan-phase worker threads of the run
 };
 
@@ -88,6 +96,13 @@ struct PhaseReport {
   DeliveryStats delivery;
   /// Messages still in flight when the phase ended.
   std::size_t in_flight_at_end = 0;
+  /// Open-loop serving workload of this phase: the effective arrival spec's
+  /// name ("" when the phase served none) and the latency stats delta.
+  /// Queries in flight at the phase boundary stay tracked into the next
+  /// phase (their completion lands in that phase's delta).
+  std::string arrivals;
+  QueryLatencyStats query_latency;
+  std::size_t open_queries_at_end = 0;
   PhaseTiming timing;
 };
 
@@ -114,6 +129,16 @@ struct ScenarioReport {
   int total_queries_completed = 0;
   Metrics total_traffic;
   DeliveryStats total_delivery;
+  /// True when any phase ran an open-loop arrival process; reports
+  /// serialize query-latency blocks only then, so closed-loop output stays
+  /// byte-identical to pre-serving builds.
+  bool open_loop = false;
+  /// Completion-latency SLO the run used (cycles; the effective arrival
+  /// spec's slo_cycles) — the "within SLO" threshold of the goodput fields.
+  std::uint64_t slo_cycles = 0;
+  /// Whole-run serving stats; unlike the per-phase deltas this includes the
+  /// queries still open at the end of the timeline (counted as abandoned).
+  QueryLatencyStats total_query_latency;
   PhaseTiming total_timing;
 };
 

@@ -51,12 +51,25 @@ std::uint64_t Scenario::TotalCycles() const {
   return total;
 }
 
+bool Scenario::HasArrivals() const {
+  for (const ScenarioPhase& phase : phases) {
+    const ArrivalSpec& spec =
+        phase.arrivals.has_value() ? *phase.arrivals : arrivals;
+    if (!spec.IsNone() && phase.mode != PhaseMode::kLazy) return true;
+  }
+  return false;
+}
+
 std::string Scenario::Validate() const {
   if (name.empty()) return "scenario name is empty";
   if (phases.empty()) return "scenario has no phases";
   if (const std::string problem = latency.Validate(); !problem.empty()) {
     return problem;
   }
+  if (const std::string problem = arrivals.Validate(); !problem.empty()) {
+    return "arrivals: " + problem;
+  }
+  if (eager_gossip_budget < 0) return "eager_gossip_budget < 0";
   for (const ScenarioPhase& phase : phases) {
     const std::string where = "phase '" + phase.name + "': ";
     if (phase.name.empty()) return "a phase has an empty name";
@@ -64,6 +77,15 @@ std::string Scenario::Validate() const {
     if (phase.queries_per_cycle < 0) return where + "queries_per_cycle < 0";
     if (phase.queries_per_cycle > 0 && phase.mode == PhaseMode::kLazy) {
       return where + "background queries require an eager or mixed mode";
+    }
+    if (phase.arrivals.has_value()) {
+      if (const std::string problem = phase.arrivals->Validate();
+          !problem.empty()) {
+        return where + "arrivals: " + problem;
+      }
+      if (!phase.arrivals->IsNone() && phase.mode == PhaseMode::kLazy) {
+        return where + "open-loop arrivals require an eager or mixed mode";
+      }
     }
     for (const ScenarioEvent& event : phase.events) {
       const std::string which =

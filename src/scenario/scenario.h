@@ -14,10 +14,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dataset/generator.h"
+#include "serving/arrival.h"
 #include "sim/delivery.h"
 
 namespace p3q {
@@ -71,7 +73,13 @@ struct ScenarioPhase {
   std::uint64_t cycles = 0;
   PhaseMode mode = PhaseMode::kLazy;
   /// Queries issued every cycle from random online users (eager/mixed).
+  /// Closed-loop: the runner tracks each query to the phase end. Distinct
+  /// from the open-loop `arrivals` workload below — both may run at once.
   int queries_per_cycle = 0;
+  /// Open-loop arrivals for this phase only, overriding the scenario-level
+  /// default (serving/arrival.h). Set to ArrivalSpec{} (kind kNone) to
+  /// silence a scenario-level process for one phase.
+  std::optional<ArrivalSpec> arrivals;
   std::vector<ScenarioEvent> events;
   DutyCycleFn duty;  ///< empty = liveness driven by events only
 };
@@ -86,7 +94,19 @@ struct Scenario {
   /// in flight for whole cycles and surface delivery-lag statistics in the
   /// reports.
   LatencySpec latency;
+  /// Open-loop query arrival process (serving/arrival.h) applied to every
+  /// eager/mixed phase unless the phase overrides it. The default (kind
+  /// kNone) keeps the scenario purely closed-loop — no serving harness, no
+  /// latency blocks in the reports.
+  ArrivalSpec arrivals;
+  /// Per-node per-cycle cap on planned eager gossips (P3QConfig's
+  /// eager_gossip_budget); 0 = unlimited. Finite budgets give the system a
+  /// real service rate for open-loop saturation sweeps.
+  int eager_gossip_budget = 0;
   std::vector<ScenarioPhase> phases;
+
+  /// True when any phase runs an open-loop arrival process.
+  bool HasArrivals() const;
 
   /// Sum of all phase cycle budgets.
   std::uint64_t TotalCycles() const;

@@ -1,0 +1,70 @@
+#include "serving/lifecycle.h"
+
+#include <utility>
+
+#include "core/p3q_system.h"
+#include "eval/recall.h"
+
+namespace p3q {
+
+ServingTracker::ServingTracker(std::uint64_t slo_cycles, double recall_target)
+    : slo_cycles_(slo_cycles), recall_target_(recall_target) {}
+
+bool ServingTracker::MeetsRecallTarget(const P3QSystem& system,
+                                       std::uint64_t query_id,
+                                       const OpenQuery& open) const {
+  if (open.reference.empty()) return true;  // nothing to retrieve
+  return RecallAtK(system.query(query_id).CurrentTopKItems(),
+                   open.reference) >= recall_target_;
+}
+
+void ServingTracker::Track(P3QSystem* system, std::uint64_t query_id,
+                           std::uint64_t cycle, std::vector<ItemId> reference,
+                           QueryLatencyStats* stats) {
+  ++stats->issued;
+  OpenQuery open;
+  open.issue_cycle = cycle;
+  open.reference = std::move(reference);
+  // The querier's own stored profiles may already answer the query (the
+  // eager mode finalizes immediately when the remaining list is empty, and
+  // a small reference can be fully covered by the local result).
+  if (system->QueryComplete(query_id) ||
+      MeetsRecallTarget(*system, query_id, open)) {
+    stats->RecordCompletion(0, slo_cycles_);
+    system->ForgetQuery(query_id);
+    return;
+  }
+  open_.emplace(query_id, std::move(open));
+}
+
+void ServingTracker::Poll(P3QSystem* system, std::uint64_t cycle,
+                          QueryLatencyStats* stats) {
+  for (auto it = open_.begin(); it != open_.end();) {
+    const std::uint64_t query_id = it->first;
+    OpenQuery& open = it->second;
+    const ActiveQuery& query = system->query(query_id);
+    if (!open.first_result_recorded && query.first_result_cycle() >= 0) {
+      open.first_result_recorded = true;
+      stats->RecordFirstResult(
+          static_cast<std::uint64_t>(query.first_result_cycle()));
+    }
+    if (system->QueryComplete(query_id) ||
+        MeetsRecallTarget(*system, query_id, open)) {
+      stats->RecordCompletion(cycle - open.issue_cycle, slo_cycles_);
+      system->ForgetQuery(query_id);
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServingTracker::Abandon(P3QSystem* system, QueryLatencyStats* stats) {
+  for (const auto& [query_id, open] : open_) {
+    ++stats->abandoned;
+    system->ForgetQuery(query_id);
+  }
+  open_.clear();
+}
+
+}  // namespace p3q

@@ -32,29 +32,11 @@ std::vector<std::string> SplitColon(const std::string& text) {
 }
 
 bool ParseU64(const std::string& s, std::uint64_t* out) {
-  // Digits only: strtoull would silently wrap "-1" to 2^64-1.
-  if (s.empty()) return false;
-  for (char c : s) {
-    if (c < '0' || c > '9') return false;
-  }
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0') return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
+  // common/parse.h: whole-string, no silent wrap of "-1" to 2^64-1.
+  return ParseStrictUint64(s, out);
 }
 
 }  // namespace
-
-bool ParseStrictDouble(const std::string& s, double* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0') return false;
-  if (v != v) return false;  // NaN compares false against every bound
-  *out = v;
-  return true;
-}
 
 std::string LatencySpec::Name() const {
   switch (kind) {

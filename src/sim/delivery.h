@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.h"
 #include "common/random.h"
 #include "common/types.h"
 #include "sim/engine.h"
@@ -69,11 +70,6 @@ struct LatencySpec {
 /// Parses "zero" | "fixed:K" | "uniform:LO:HI" | "lossy:P:MAX" into `spec`.
 /// Returns an empty string on success, else a human-readable error.
 std::string ParseLatencySpec(const std::string& text, LatencySpec* spec);
-
-/// Strict double parse shared by the latency parser and CLI flags: the
-/// whole string must be a finite number — "", "O.1", "0.9x" and NaN all
-/// fail instead of silently reading as 0.
-bool ParseStrictDouble(const std::string& s, double* out);
 
 /// Decides, at send time, when a message commits. Implementations must be
 /// pure functions of (cycle, sender, the rng stream) — no hidden state —

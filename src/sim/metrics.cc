@@ -57,17 +57,31 @@ void Metrics::Reset() {
   for (auto& s : stats_) s = MessageStats{};
 }
 
-double DeliveryStats::LagPercentile(double p) const {
-  if (delivered == 0) return -1.0;
-  const double target = p * static_cast<double>(delivered);
+namespace {
+
+/// Percentile read over a clamped histogram of `total` observations. A read
+/// landing in the final bucket is a lower bound, not an exact value: that
+/// bucket aggregates everything at or past the clamp.
+PercentileValue HistogramPercentile(const std::uint64_t* histogram,
+                                    std::size_t buckets, std::uint64_t total,
+                                    double p) {
+  if (total == 0) return PercentileValue{-1.0, false};
+  const double target = p * static_cast<double>(total);
   std::uint64_t cumulative = 0;
-  for (std::size_t lag = 0; lag < kDeliveryLagBuckets; ++lag) {
-    cumulative += lag_histogram[lag];
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    cumulative += histogram[i];
     if (static_cast<double>(cumulative) >= target) {
-      return static_cast<double>(lag);
+      return PercentileValue{static_cast<double>(i), false};
     }
   }
-  return static_cast<double>(kDeliveryLagBuckets - 1);
+  return PercentileValue{static_cast<double>(buckets - 1), true};
+}
+
+}  // namespace
+
+PercentileValue DeliveryStats::LagPercentileBound(double p) const {
+  return HistogramPercentile(lag_histogram.data(), kDeliveryLagBuckets,
+                             delivered, p);
 }
 
 void DeliveryStats::MergeFrom(const DeliveryStats& other) {
@@ -91,6 +105,46 @@ DeliveryStats DeliveryStats::Since(const DeliveryStats& earlier) const {
   delta.max_in_flight = max_in_flight;
   for (std::size_t i = 0; i < kDeliveryLagBuckets; ++i) {
     delta.lag_histogram[i] = lag_histogram[i] - earlier.lag_histogram[i];
+  }
+  return delta;
+}
+
+PercentileValue QueryLatencyStats::CompletionPercentile(double p) const {
+  return HistogramPercentile(completion_histogram.data(), kQueryLatencyBuckets,
+                             completed, p);
+}
+
+PercentileValue QueryLatencyStats::FirstResultPercentile(double p) const {
+  return HistogramPercentile(first_result_histogram.data(),
+                             kQueryLatencyBuckets, first_results, p);
+}
+
+void QueryLatencyStats::MergeFrom(const QueryLatencyStats& other) {
+  issued += other.issued;
+  completed += other.completed;
+  completed_within_slo += other.completed_within_slo;
+  first_results += other.first_results;
+  abandoned += other.abandoned;
+  for (std::size_t i = 0; i < kQueryLatencyBuckets; ++i) {
+    completion_histogram[i] += other.completion_histogram[i];
+    first_result_histogram[i] += other.first_result_histogram[i];
+  }
+}
+
+QueryLatencyStats QueryLatencyStats::Since(
+    const QueryLatencyStats& earlier) const {
+  QueryLatencyStats delta;
+  delta.issued = issued - earlier.issued;
+  delta.completed = completed - earlier.completed;
+  delta.completed_within_slo =
+      completed_within_slo - earlier.completed_within_slo;
+  delta.first_results = first_results - earlier.first_results;
+  delta.abandoned = abandoned - earlier.abandoned;
+  for (std::size_t i = 0; i < kQueryLatencyBuckets; ++i) {
+    delta.completion_histogram[i] =
+        completion_histogram[i] - earlier.completion_histogram[i];
+    delta.first_result_histogram[i] =
+        first_result_histogram[i] - earlier.first_result_histogram[i];
   }
   return delta;
 }

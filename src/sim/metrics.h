@@ -86,6 +86,15 @@ class Metrics {
 /// cycles are counted exactly; the last bucket absorbs everything longer.
 inline constexpr std::size_t kDeliveryLagBuckets = 33;
 
+/// A percentile read off a clamped histogram. The final bucket aggregates
+/// every observation at or past the clamp, so a percentile landing there is
+/// only a LOWER bound on the true value — `lower_bound` flags that instead
+/// of letting the clamp masquerade as an exact measurement.
+struct PercentileValue {
+  double value = -1.0;       ///< -1 when nothing was recorded
+  bool lower_bound = false;  ///< true: the true percentile is >= value
+};
+
 /// Counters of the asynchronous delivery layer (sim/delivery.h): how many
 /// planned effects went onto the wire, how long they stayed in flight, and
 /// how many never arrived. All counters are deterministic in (seed, latency
@@ -105,9 +114,13 @@ struct DeliveryStats {
   }
 
   /// Smallest lag L such that at least `p` (in [0, 1]) of all delivered
-  /// messages had lag <= L; -1 when nothing was delivered. The last bucket
-  /// reports as kDeliveryLagBuckets - 1 ("or longer").
-  double LagPercentile(double p) const;
+  /// messages had lag <= L; value -1 when nothing was delivered. When the
+  /// percentile lands in the final clamped bucket the true lag is only
+  /// known to be >= kDeliveryLagBuckets - 1, and `lower_bound` is set.
+  PercentileValue LagPercentileBound(double p) const;
+
+  /// Value-only shorthand for LagPercentileBound (the clamp flag dropped).
+  double LagPercentile(double p) const { return LagPercentileBound(p).value; }
 
   /// Adds every counter of `other`; max_in_flight takes the maximum.
   void MergeFrom(const DeliveryStats& other);
@@ -115,6 +128,63 @@ struct DeliveryStats {
   /// Per-counter difference (this - earlier) for phase deltas.
   /// max_in_flight keeps this side's running peak (peaks do not subtract).
   DeliveryStats Since(const DeliveryStats& earlier) const;
+};
+
+/// Query-completion-latency histogram resolution: latencies of
+/// 0..kQueryLatencyBuckets-2 cycles are counted exactly; the last bucket
+/// absorbs everything longer (and reports as a flagged lower bound).
+inline constexpr std::size_t kQueryLatencyBuckets = 65;
+
+/// Per-query serving latencies of the open-loop workload layer
+/// (serving/lifecycle.h): how many queries entered the system, how long
+/// each took to produce its first remote result and to complete
+/// (completion = the recall target reached, or the eager mode's NRA
+/// finalization), and how many met the completion SLO. All counters are
+/// deterministic in (seed, scenario, latency model) — like DeliveryStats
+/// they never depend on the thread count. The same shape as DeliveryStats:
+/// clamped histograms, percentile reads, MergeFrom/Since deltas.
+struct QueryLatencyStats {
+  std::uint64_t issued = 0;     ///< open-loop queries injected
+  std::uint64_t completed = 0;  ///< reached the recall target / finalized
+  std::uint64_t completed_within_slo = 0;  ///< completed within slo cycles
+  std::uint64_t first_results = 0;  ///< received >= 1 remote partial result
+  std::uint64_t abandoned = 0;      ///< still open when the run ended
+  /// completed queries by latency = completion cycle - issue cycle.
+  std::array<std::uint64_t, kQueryLatencyBuckets> completion_histogram{};
+  /// first-result queries by latency = first-result cycle - issue cycle.
+  std::array<std::uint64_t, kQueryLatencyBuckets> first_result_histogram{};
+
+  void RecordCompletion(std::uint64_t latency, std::uint64_t slo_cycles) {
+    ++completed;
+    if (latency <= slo_cycles) ++completed_within_slo;
+    ++completion_histogram[latency < kQueryLatencyBuckets
+                               ? latency
+                               : kQueryLatencyBuckets - 1];
+  }
+
+  void RecordFirstResult(std::uint64_t latency) {
+    ++first_results;
+    ++first_result_histogram[latency < kQueryLatencyBuckets
+                                 ? latency
+                                 : kQueryLatencyBuckets - 1];
+  }
+
+  /// Smallest completion latency L such that at least `p` of all completed
+  /// queries finished within L cycles; value -1 when nothing completed.
+  /// `lower_bound` is set when the read lands in the final clamped bucket.
+  PercentileValue CompletionPercentile(double p) const;
+
+  /// Same read over the first-result histogram.
+  PercentileValue FirstResultPercentile(double p) const;
+
+  /// True when no query was ever issued.
+  bool Empty() const { return issued == 0; }
+
+  /// Adds every counter of `other`.
+  void MergeFrom(const QueryLatencyStats& other);
+
+  /// Per-counter difference (this - earlier) for phase deltas.
+  QueryLatencyStats Since(const QueryLatencyStats& earlier) const;
 };
 
 }  // namespace p3q

@@ -206,5 +206,74 @@ TEST(P3qSimScenarioCli, LatencyFlagIsValidatedAndDeterministic) {
   std::remove(path_b.c_str());
 }
 
+TEST(P3qSimScenarioCli, NumericFlagsRejectTrailingGarbage) {
+  // std::from_chars full-string validation: a numeric flag must consume the
+  // whole value, so partial parses that atof/atoi silently accepted fail.
+  EXPECT_NE(RunCli("--cycle-scale=abc"), 0);
+  EXPECT_NE(RunCli("--cycle-scale=1.5x"), 0);
+  EXPECT_NE(RunCli("--cycle-scale="), 0);
+  EXPECT_NE(RunCli("--users=1e3"), 0);
+  EXPECT_NE(RunCli("--users=100abc"), 0);
+  EXPECT_NE(RunCli("--threads=2x"), 0);
+  EXPECT_NE(RunCli("--seed=-1"), 0);
+  EXPECT_NE(RunCli("--queries=3.5"), 0);
+  EXPECT_NE(RunCli("--alpha=0.5;rm"), 0);
+  // The exact same values without the garbage still parse.
+  EXPECT_EQ(RunCli("--scenario=steady-state --users=60 --cycle-scale=0.15 "
+                   "--threads=2 --seed=5"),
+            0);
+}
+
+TEST(P3qSimScenarioCli, ArrivalFlagsAreValidated) {
+  // Arrival overrides only make sense against a scenario timeline.
+  EXPECT_NE(RunCli("--arrival-rate=2"), 0);
+  EXPECT_NE(RunCli("--arrival-sweep=1:4:1"), 0);
+  // A single rate and a sweep are mutually exclusive, and both are strict.
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-rate=2 "
+                   "--arrival-sweep=1:4:1"),
+            0);
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-rate=-1"), 0);
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-rate=2x"), 0);
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-sweep=1:4"), 0);
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-sweep=4:1:1"), 0);
+  EXPECT_NE(RunCli("--scenario=open-loop-steady --arrival-sweep=1:4:0"), 0);
+}
+
+TEST(P3qSimScenarioCli, ArrivalRateRunEmitsDeterministicQueryLatency) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path_a = dir + "/p3q_openloop_a.json";
+  const std::string path_b = dir + "/p3q_openloop_b.json";
+  const std::string args =
+      "--scenario=open-loop-steady --arrival-rate=1.5 --users=80 "
+      "--cycle-scale=0.25 --seed=5 ";
+  ASSERT_EQ(RunCli(args + "--threads=1 --json=\"" + path_a + "\""), 0);
+  ASSERT_EQ(RunCli(args + "--threads=8 --json=\"" + path_b + "\""), 0);
+  const std::string json = ReadFileOrEmpty(path_a);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"slo_cycles\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"query_latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"arrivals\": \"poisson:1.5\""), std::string::npos);
+  EXPECT_EQ(json, ReadFileOrEmpty(path_b))
+      << "open-loop reports must not depend on the thread count";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(P3qSimScenarioCli, ArrivalSweepWritesTheSweepReport) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/p3q_sweep.json";
+  ASSERT_EQ(RunCli("--scenario=open-loop-saturation --arrival-sweep=1:3:2 "
+                   "--users=80 --cycle-scale=0.25 --seed=5 --json=\"" +
+                   path + "\""),
+            0);
+  const std::string json = ReadFileOrEmpty(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 1.00"), std::string::npos);
+  EXPECT_NE(json.find("\"rate\": 3.00"), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_per_cycle\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace p3q

@@ -176,7 +176,7 @@ TEST(ScenarioModel, DutyCycleHelpers) {
 
 TEST(ScenarioRegistry, AllBuiltInScenariosAreWellFormed) {
   const std::vector<std::string> names = RegisteredScenarioNames();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 12u);
   for (const std::string& name : names) {
     EXPECT_TRUE(HasScenario(name));
     const Scenario scenario = MakeScenario(name);

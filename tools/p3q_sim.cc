@@ -19,14 +19,23 @@
 //   p3q_sim --latency=fixed:2 --users=500 --queries=20
 //   p3q_sim --scenario=steady-state --latency=uniform:1:3 --json=out.json
 //   p3q_sim --loss=0.05 --converge=0.9 --lazy-cycles=300 --queries=0
-#include <cstdlib>
+//
+// Open-loop serving (latency SLOs and saturation sweeps):
+//
+//   p3q_sim --scenario=open-loop-steady --arrival-rate=2 --json=out.json
+//   p3q_sim --scenario=open-loop-saturation --arrival-sweep=1:8:1
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "baseline/centralized_topk.h"
 #include "baseline/ideal_network.h"
+#include "common/parse.h"
 #include "common/table_printer.h"
 #include "core/p3q_system.h"
 #include "dataset/generator.h"
@@ -41,6 +50,13 @@
 #include "sim/delivery.h"
 
 namespace {
+
+/// An --arrival-sweep=lo:hi:step saturation sweep.
+struct SweepSpec {
+  double lo = 0;
+  double hi = 0;
+  double step = 0;
+};
 
 struct Options {
   int users = 1000;
@@ -69,6 +85,9 @@ struct Options {
   std::string json_path;
   std::string csv_path;
   bool timing = false;
+  // Open-loop serving.
+  std::optional<double> arrival_rate;
+  std::optional<SweepSpec> arrival_sweep;
 };
 
 void PrintUsage() {
@@ -111,7 +130,17 @@ void PrintUsage() {
       "  --csv=PATH         write the scenario report as CSV\n"
       "  --timing           include wall-clock throughput in JSON/CSV\n"
       "                     reports (off by default so reports from equal\n"
-      "                     seeds are byte-identical)\n";
+      "                     seeds are byte-identical)\n"
+      "\nOpen-loop serving (scenario mode only):\n"
+      "  --arrival-rate=R   override the scenario's open-loop arrival\n"
+      "                     process with Poisson(R) queries per cycle on\n"
+      "                     every eager/mixed phase; reports gain\n"
+      "                     query-latency percentiles and SLO goodput\n"
+      "  --arrival-sweep=LO:HI:STEP\n"
+      "                     saturation sweep: run the scenario once per\n"
+      "                     rate in [LO, HI] and print latency percentiles\n"
+      "                     and goodput per rate (--json writes the sweep\n"
+      "                     as a JSON array)\n";
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -128,6 +157,57 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return false;
 }
 
+/// Strict whole-string numeric flag parsing (common/parse.h): a typo like
+/// --users=1e3 or --threads=2x is a hard error, never a silent 0 the way
+/// std::atoi would read it.
+bool ParseIntFlag(const char* flag, const std::string& value, int* out) {
+  if (!p3q::ParseStrictInt(value, out)) {
+    std::cerr << flag << ": cannot parse '" << value << "' as an integer\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseDoubleFlag(const char* flag, const std::string& value, double* out) {
+  if (!p3q::ParseStrictDouble(value, out)) {
+    std::cerr << flag << ": cannot parse '" << value << "' as a number\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseUint64Flag(const char* flag, const std::string& value,
+                     std::uint64_t* out) {
+  if (!p3q::ParseStrictUint64(value, out)) {
+    std::cerr << flag << ": cannot parse '" << value
+              << "' as a non-negative integer\n";
+    return false;
+  }
+  return true;
+}
+
+/// Parses --arrival-sweep=LO:HI:STEP.
+bool ParseSweepSpec(const std::string& value, SweepSpec* out) {
+  const std::size_t first = value.find(':');
+  const std::size_t second =
+      first == std::string::npos ? std::string::npos
+                                 : value.find(':', first + 1);
+  if (first == std::string::npos || second == std::string::npos ||
+      !p3q::ParseStrictDouble(value.substr(0, first), &out->lo) ||
+      !p3q::ParseStrictDouble(value.substr(first + 1, second - first - 1),
+                              &out->hi) ||
+      !p3q::ParseStrictDouble(value.substr(second + 1), &out->step)) {
+    std::cerr << "--arrival-sweep: expected LO:HI:STEP, got '" << value
+              << "'\n";
+    return false;
+  }
+  if (!(out->lo >= 0) || !(out->hi >= out->lo) || !(out->step > 0)) {
+    std::cerr << "--arrival-sweep: need 0 <= LO <= HI and STEP > 0\n";
+    return false;
+  }
+  return true;
+}
+
 std::optional<Options> ParseArgs(int argc, char** argv) {
   Options opt;
   std::string latency_text;
@@ -137,19 +217,21 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     if (ParseFlag(argv[i], "--help", &value)) {
       opt.help = true;
     } else if (ParseFlag(argv[i], "--users", &value)) {
-      opt.users = std::atoi(value.c_str());
+      if (!ParseIntFlag("--users", value, &opt.users)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       opt.trace_path = value;
     } else if (ParseFlag(argv[i], "--s", &value)) {
-      opt.network_size = std::atoi(value.c_str());
+      if (!ParseIntFlag("--s", value, &opt.network_size)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--c", &value)) {
-      opt.stored = std::atoi(value.c_str());
+      if (!ParseIntFlag("--c", value, &opt.stored)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--lambda", &value)) {
-      opt.lambda = std::atof(value.c_str());
+      if (!ParseDoubleFlag("--lambda", value, &opt.lambda)) {
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--alpha", &value)) {
-      opt.alpha = std::atof(value.c_str());
+      if (!ParseDoubleFlag("--alpha", value, &opt.alpha)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--k", &value)) {
-      opt.top_k = std::atoi(value.c_str());
+      if (!ParseIntFlag("--k", value, &opt.top_k)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--similarity", &value)) {
       if (!p3q::ParseSimilarityMetric(value, &opt.similarity)) {
         std::cerr << "--similarity: unknown metric '" << value
@@ -157,31 +239,33 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
         return std::nullopt;
       }
     } else if (ParseFlag(argv[i], "--lazy-cycles", &value)) {
-      opt.lazy_cycles = std::atoi(value.c_str());
+      if (!ParseIntFlag("--lazy-cycles", value, &opt.lazy_cycles)) {
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--eager-cycles", &value)) {
-      opt.eager_cycles = std::atoi(value.c_str());
+      if (!ParseIntFlag("--eager-cycles", value, &opt.eager_cycles)) {
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--queries", &value)) {
-      opt.queries = std::atoi(value.c_str());
+      if (!ParseIntFlag("--queries", value, &opt.queries)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--departure", &value)) {
-      opt.departure = std::atof(value.c_str());
+      if (!ParseDoubleFlag("--departure", value, &opt.departure)) {
+        return std::nullopt;
+      }
     } else if (ParseFlag(argv[i], "--updates", &value)) {
       opt.apply_updates = true;
     } else if (ParseFlag(argv[i], "--seed", &value)) {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      if (!ParseUint64Flag("--seed", value, &opt.seed)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--threads", &value)) {
-      opt.threads = std::atoi(value.c_str());
+      if (!ParseIntFlag("--threads", value, &opt.threads)) return std::nullopt;
     } else if (ParseFlag(argv[i], "--latency", &value)) {
       latency_text = value;
     } else if (ParseFlag(argv[i], "--loss", &value)) {
       double p = 0;
-      if (!p3q::ParseStrictDouble(value, &p)) {
-        std::cerr << "--loss: cannot parse '" << value << "'\n";
-        return std::nullopt;
-      }
+      if (!ParseDoubleFlag("--loss", value, &p)) return std::nullopt;
       loss = p;
     } else if (ParseFlag(argv[i], "--converge", &value)) {
-      if (!p3q::ParseStrictDouble(value, &opt.converge)) {
-        std::cerr << "--converge: cannot parse '" << value << "'\n";
+      if (!ParseDoubleFlag("--converge", value, &opt.converge)) {
         return std::nullopt;
       }
     } else if (ParseFlag(argv[i], "--scenario", &value)) {
@@ -189,7 +273,19 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--list-scenarios", &value)) {
       opt.list_scenarios = true;
     } else if (ParseFlag(argv[i], "--cycle-scale", &value)) {
-      opt.cycle_scale = std::atof(value.c_str());
+      if (!ParseDoubleFlag("--cycle-scale", value, &opt.cycle_scale)) {
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--arrival-rate", &value)) {
+      double rate = 0;
+      if (!ParseDoubleFlag("--arrival-rate", value, &rate)) {
+        return std::nullopt;
+      }
+      opt.arrival_rate = rate;
+    } else if (ParseFlag(argv[i], "--arrival-sweep", &value)) {
+      SweepSpec sweep;
+      if (!ParseSweepSpec(value, &sweep)) return std::nullopt;
+      opt.arrival_sweep = sweep;
     } else if (ParseFlag(argv[i], "--json", &value)) {
       opt.json_path = value;
     } else if (ParseFlag(argv[i], "--csv", &value)) {
@@ -264,13 +360,37 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
                  "mode\n";
     return std::nullopt;
   }
+  if ((opt.arrival_rate.has_value() || opt.arrival_sweep.has_value()) &&
+      opt.scenario.empty()) {
+    std::cerr << "--arrival-rate/--arrival-sweep require --scenario=NAME\n";
+    return std::nullopt;
+  }
+  if (opt.arrival_rate.has_value() && opt.arrival_sweep.has_value()) {
+    std::cerr << "--arrival-rate and --arrival-sweep are mutually "
+                 "exclusive\n";
+    return std::nullopt;
+  }
+  if (opt.arrival_rate.has_value() && !(*opt.arrival_rate >= 0)) {
+    std::cerr << "--arrival-rate must be >= 0\n";
+    return std::nullopt;
+  }
   return opt;
 }
 
-/// Runs a named scenario timeline and prints/writes its report.
-int RunScenarioMode(const Options& opt) {
-  using namespace p3q;
-  ScenarioRunnerOptions options;
+/// The arrival process a CLI rate override produces: the scenario's own
+/// spec (keeping its SLO/recall target) with the Poisson rate replaced.
+p3q::ArrivalSpec OverrideArrivals(const p3q::Scenario& scenario, double rate) {
+  p3q::ArrivalSpec spec = scenario.arrivals;
+  spec.kind = p3q::ArrivalKind::kPoisson;
+  spec.rate = rate;
+  spec.trace.clear();
+  return spec;
+}
+
+/// The runner options a CLI invocation maps to (shared between the single
+/// run and the sweep).
+p3q::ScenarioRunnerOptions MakeRunnerOptions(const Options& opt) {
+  p3q::ScenarioRunnerOptions options;
   options.users = opt.users;
   options.seed = opt.seed;
   options.cycle_scale = opt.cycle_scale;
@@ -281,11 +401,24 @@ int RunScenarioMode(const Options& opt) {
   options.similarity = opt.similarity;
   options.threads = opt.threads;
   options.latency = opt.latency;  // unset = the scenario's own model
+  return options;
+}
+
+/// Runs a named scenario timeline and prints/writes its report.
+int RunScenarioMode(const Options& opt) {
+  using namespace p3q;
+  ScenarioRunnerOptions options = MakeRunnerOptions(opt);
 
   const Scenario scenario = MakeScenario(opt.scenario);
+  if (opt.arrival_rate.has_value()) {
+    options.arrivals = OverrideArrivals(scenario, *opt.arrival_rate);
+  }
   std::cout << "scenario: " << scenario.name << " — " << scenario.description
             << "\nusers: " << opt.users << ", seed: " << opt.seed
             << ", cycle scale: " << opt.cycle_scale;
+  if (options.arrivals.has_value()) {
+    std::cout << ", arrivals: " << options.arrivals->Name();
+  }
   if (opt.similarity != SimilarityMetric::kCommonActions) {
     std::cout << ", similarity: " << SimilarityMetricName(opt.similarity);
   }
@@ -342,6 +475,20 @@ int RunScenarioMode(const Options& opt) {
               << TablePrinter::Fmt(d.LagPercentile(0.95), 1)
               << " cycles, peak in flight " << d.max_in_flight << "\n";
   }
+  if (report.open_loop) {
+    const QueryLatencyStats& q = report.total_query_latency;
+    const PercentileValue p99 = q.CompletionPercentile(0.99);
+    std::cout << "serving: " << q.issued << " issued, " << q.completed
+              << " completed (" << q.completed_within_slo << " within SLO of "
+              << report.slo_cycles << " cycles), " << q.abandoned
+              << " abandoned; latency p50/p95/p99 "
+              << TablePrinter::Fmt(q.CompletionPercentile(0.50).value, 1)
+              << "/" << TablePrinter::Fmt(q.CompletionPercentile(0.95).value, 1)
+              << "/" << TablePrinter::Fmt(p99.value, 1)
+              << (p99.lower_bound ? "+" : "") << " cycles, first result p50 "
+              << TablePrinter::Fmt(q.FirstResultPercentile(0.50).value, 1)
+              << "\n";
+  }
 
   if (!opt.json_path.empty() &&
       !WriteScenarioReportJson(report, opt.json_path, opt.timing)) {
@@ -357,6 +504,105 @@ int RunScenarioMode(const Options& opt) {
     std::cout << "JSON report: " << opt.json_path << "\n";
   }
   if (!opt.csv_path.empty()) {
+    std::cout << "CSV report: " << opt.csv_path << "\n";
+  }
+  return 0;
+}
+
+/// Runs the scenario once per --arrival-sweep rate and reports per-rate
+/// latency percentiles and goodput (completions within the SLO per
+/// timeline cycle). Everything printed/written is deterministic in
+/// (scenario, options) — byte-identical for every --threads value.
+int RunSweepMode(const Options& opt) {
+  using namespace p3q;
+  const Scenario scenario = MakeScenario(opt.scenario);
+  const SweepSpec sweep = *opt.arrival_sweep;
+
+  const auto num = [](double v, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return std::string(buf);
+  };
+
+  std::cout << "scenario: " << scenario.name << " — saturation sweep, rate "
+            << num(sweep.lo, 2) << " to " << num(sweep.hi, 2) << " step "
+            << num(sweep.step, 2) << "\nusers: " << opt.users
+            << ", seed: " << opt.seed << "\n\n";
+
+  TablePrinter table({"rate", "issued", "completed", "in_slo", "abandoned",
+                      "p50", "p95", "p99", "goodput/cyc"});
+  std::ostringstream json;
+  std::ostringstream csv;
+  json << "{\n  \"scenario\": \"" << scenario.name
+       << "\",\n  \"seed\": " << opt.seed << ",\n  \"users\": " << opt.users
+       << ",\n  \"sweep\": [\n";
+  csv << "rate,issued,completed,completed_within_slo,abandoned,p50,p95,p99,"
+         "p99_lower_bound,first_result_p50,goodput_per_cycle\n";
+
+  bool first = true;
+  for (double rate = sweep.lo; rate <= sweep.hi + 1e-9; rate += sweep.step) {
+    ScenarioRunnerOptions options = MakeRunnerOptions(opt);
+    options.arrivals = OverrideArrivals(scenario, rate);
+    ScenarioReport report;
+    try {
+      report = RunScenario(scenario, options);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "invalid configuration: " << e.what() << "\n";
+      return 1;
+    }
+    const QueryLatencyStats& q = report.total_query_latency;
+    const PercentileValue p50 = q.CompletionPercentile(0.50);
+    const PercentileValue p95 = q.CompletionPercentile(0.95);
+    const PercentileValue p99 = q.CompletionPercentile(0.99);
+    const PercentileValue fr50 = q.FirstResultPercentile(0.50);
+    const double goodput =
+        report.total_cycles == 0
+            ? 0.0
+            : static_cast<double>(q.completed_within_slo) /
+                  static_cast<double>(report.total_cycles);
+
+    table.AddRow({num(rate, 2), TablePrinter::Fmt(q.issued),
+                  TablePrinter::Fmt(q.completed),
+                  TablePrinter::Fmt(q.completed_within_slo),
+                  TablePrinter::Fmt(q.abandoned),
+                  num(p50.value, 1), num(p95.value, 1),
+                  num(p99.value, 1) + (p99.lower_bound ? "+" : ""),
+                  num(goodput, 3)});
+
+    json << (first ? "" : ",\n") << "    {\"rate\": " << num(rate, 2)
+         << ", \"issued\": " << q.issued << ", \"completed\": " << q.completed
+         << ", \"completed_within_slo\": " << q.completed_within_slo
+         << ", \"abandoned\": " << q.abandoned
+         << ", \"p50\": " << num(p50.value, 2)
+         << ", \"p95\": " << num(p95.value, 2)
+         << ", \"p99\": " << num(p99.value, 2);
+    if (p99.lower_bound) json << ", \"p99_lower_bound\": true";
+    json << ", \"first_result_p50\": " << num(fr50.value, 2)
+         << ", \"goodput_per_cycle\": " << num(goodput, 4) << "}";
+    csv << num(rate, 2) << "," << q.issued << "," << q.completed << ","
+        << q.completed_within_slo << "," << q.abandoned << ","
+        << num(p50.value, 2) << "," << num(p95.value, 2) << ","
+        << num(p99.value, 2) << "," << (p99.lower_bound ? 1 : 0) << ","
+        << num(fr50.value, 2) << "," << num(goodput, 4) << "\n";
+    first = false;
+  }
+  json << "\n  ]\n}\n";
+  table.Print(std::cout);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::binary | std::ios::trunc);
+    if (!(out << json.str())) {
+      std::cerr << "cannot write JSON report: " << opt.json_path << "\n";
+      return 1;
+    }
+    std::cout << "\nJSON report: " << opt.json_path << "\n";
+  }
+  if (!opt.csv_path.empty()) {
+    std::ofstream out(opt.csv_path, std::ios::binary | std::ios::trunc);
+    if (!(out << csv.str())) {
+      std::cerr << "cannot write CSV report: " << opt.csv_path << "\n";
+      return 1;
+    }
     std::cout << "CSV report: " << opt.csv_path << "\n";
   }
   return 0;
@@ -382,7 +628,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!opt.scenario.empty()) {
-    return RunScenarioMode(opt);
+    return opt.arrival_sweep.has_value() ? RunSweepMode(opt)
+                                         : RunScenarioMode(opt);
   }
 
   using namespace p3q;
