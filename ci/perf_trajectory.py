@@ -8,7 +8,8 @@ pairs/sec), runs the open-loop-steady serving scenario (query-latency
 p50/p95/p99 and queries/sec completed within the SLO), and emits:
 
   * BENCH_pr.json        — the run's structured perf snapshot (scenario
-                           wall-clock/throughput, similarity-kernel
+                           wall-clock/throughput, engine phase timings with
+                           shard-imbalance ratios, similarity-kernel
                            pairs/sec, cycles-to-convergence, delivery-lag
                            p50/p95, serving latency percentiles and SLO
                            goodput);
@@ -50,17 +51,44 @@ def run_sim(sim, args):
     return result.stdout
 
 
+def profile_rollup(profile):
+    """Collapses a --profile JSON into trajectory columns.
+
+    Phase seconds are summed across engine labels (lazy + eager); the
+    shard-imbalance ratios take the worst engine. Wall-clock phase times
+    depend on the runner, so all of these are recorded, never gated.
+    """
+    rollup = {"plan_seconds": 0.0, "barrier_seconds": 0.0,
+              "commit_seconds": 0.0, "shard_imbalance_mean": 0.0,
+              "shard_imbalance_max": 0.0}
+    for engine in profile.get("engines", {}).values():
+        rollup["plan_seconds"] += engine["plan_seconds"]
+        rollup["barrier_seconds"] += engine["barrier_seconds"]
+        rollup["commit_seconds"] += engine["commit_seconds"]
+        rollup["shard_imbalance_mean"] = max(rollup["shard_imbalance_mean"],
+                                             engine["mean_imbalance"])
+        rollup["shard_imbalance_max"] = max(rollup["shard_imbalance_max"],
+                                            engine["max_imbalance"])
+    return rollup
+
+
 def measure_scenario(sim, name, users, seed):
-    """Runs one scenario with --timing and returns its perf snapshot."""
+    """Runs one scenario with --timing + --profile, returns its snapshot."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         json_path = tmp.name
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        profile_path = tmp.name
     try:
         run_sim(sim, [f"--scenario={name}", f"--users={users}", f"--seed={seed}",
-                      "--timing", f"--json={json_path}"])
+                      "--timing", f"--json={json_path}",
+                      f"--profile={profile_path}"])
         with open(json_path) as f:
             report = json.load(f)
+        with open(profile_path) as f:
+            profile = json.load(f)
     finally:
         os.unlink(json_path)
+        os.unlink(profile_path)
 
     totals = report["totals"]
     timing = totals["timing"]
@@ -75,6 +103,7 @@ def measure_scenario(sim, name, users, seed):
         "cycles_per_sec": timing["cycles_per_sec"],
         "user_cycles_per_sec": timing["user_cycles_per_sec"],
     }
+    snapshot.update(profile_rollup(profile))
     delivery = totals.get("delivery")
     if delivery is not None:
         snapshot["latency_model"] = report.get("latency", "zero")
@@ -180,7 +209,9 @@ def append_trajectory(path, sha, bench):
               "cycles_per_sec", "user_cycles_per_sec", "lag_p50", "lag_p95",
               "dropped", "cycles_to_convergence", "pairs_per_sec_scalar",
               "pairs_per_sec_batched", "kernel_speedup", "ql_p50", "ql_p95",
-              "ql_p99", "slo_queries_per_sec"]
+              "ql_p99", "slo_queries_per_sec", "plan_seconds",
+              "barrier_seconds", "commit_seconds", "shard_imbalance_mean",
+              "shard_imbalance_max"]
     new_file = not os.path.exists(path) or os.path.getsize(path) == 0
     with open(path, "a", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fields)
@@ -200,6 +231,11 @@ def append_trajectory(path, sha, bench):
                 "lag_p95": s.get("delivery_lag_p95", ""),
                 "dropped": s.get("delivery_dropped", ""),
                 "cycles_to_convergence": "",
+                "plan_seconds": s["plan_seconds"],
+                "barrier_seconds": s["barrier_seconds"],
+                "commit_seconds": s["commit_seconds"],
+                "shard_imbalance_mean": s["shard_imbalance_mean"],
+                "shard_imbalance_max": s["shard_imbalance_max"],
             })
         kernel = bench.get("similarity_kernel")
         if kernel is not None:

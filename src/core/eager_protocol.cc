@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/p3q_system.h"
+#include "obs/trace.h"
 
 namespace p3q {
 namespace {
@@ -180,6 +181,16 @@ bool EagerProtocol::PlanGossip(const P3QNode* node, const EagerTask& task,
   if (g.has_partial) {
     traffic.Record(MessageType::kPartialResult, g.partial.WireBytes());
   }
+  if (Tracer* tracer = system_->tracer(); tracer != nullptr) {
+    TraceEvent event;
+    event.cycle = ctx.cycle;
+    event.kind = TraceEventKind::kGossipPlanned;
+    event.node = node->id();
+    event.peer = g.dest;
+    event.id = g.query_id;
+    event.value = static_cast<std::int64_t>(g.consumed);
+    tracer->EmitShard(ctx.shard, event);
+  }
   message->gossips.push_back(std::move(g));
   return true;
 }
@@ -261,11 +272,25 @@ void EagerProtocol::EndPlan(std::uint64_t /*cycle*/) {
   }
 }
 
-void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
+void EagerProtocol::CommitGossip(P3QNode* node, std::uint64_t send_cycle,
+                                 std::uint64_t cycle, PlannedGossip* g) {
+  const auto trace_stale = [&] {
+    ++stale_messages_dropped_;
+    if (Tracer* tracer = system_->tracer(); tracer != nullptr) {
+      TraceEvent event;
+      event.cycle = cycle;
+      event.kind = TraceEventKind::kMessageStale;
+      event.node = node->id();
+      event.peer = g->dest;
+      event.id = g->query_id;
+      event.value = static_cast<std::int64_t>(cycle - send_cycle);
+      tracer->Emit(event);
+    }
+  };
   const auto state_it = state_.find(g->query_id);
   if (state_it == state_.end()) {
     // The querier's state was forgotten while the gossip was in flight.
-    ++stale_messages_dropped_;
+    trace_stale();
     return;
   }
   const auto it = node->tasks().find(g->query_id);
@@ -275,7 +300,7 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
     // superseded it, it completed, or it died and was recreated from
     // another sender's kept portion (fresh epoch). Discard so nothing is
     // double-applied against the wrong incarnation.
-    ++stale_messages_dropped_;
+    trace_stale();
     return;
   }
   EagerTask& task = it->second;
@@ -336,18 +361,31 @@ void EagerProtocol::CommitGossip(P3QNode* node, PlannedGossip* g) {
   system_->node(g->dest).network().ResetTimestamp(node->id());
   LazyProtocol::CommitProfileExchange(system_, g->exchange);
 
+  if (Tracer* tracer = system_->tracer(); tracer != nullptr) {
+    TraceEvent event;
+    event.cycle = cycle;
+    event.kind = TraceEventKind::kGossipCommitted;
+    event.node = node->id();
+    event.peer = g->dest;
+    event.id = g->query_id;
+    event.value = static_cast<std::int64_t>(cycle - send_cycle);
+    tracer->Emit(event);
+  }
+
   if (task.remaining.empty()) {
     node->tasks().erase(it);
     --state.active_tasks;
   }
 }
 
-void EagerProtocol::CommitMessage(UserId sender, std::uint64_t /*send_cycle*/,
-                                  std::uint64_t /*cycle*/,
-                                  DeliveryMessage& message, Rng* /*rng*/) {
+void EagerProtocol::CommitMessage(UserId sender, std::uint64_t send_cycle,
+                                  std::uint64_t cycle, DeliveryMessage& message,
+                                  Rng* /*rng*/) {
   auto& msg = static_cast<TaskGossipMessage&>(message);
   P3QNode* node = &system_->node(sender);
-  for (PlannedGossip& g : msg.gossips) CommitGossip(node, &g);
+  for (PlannedGossip& g : msg.gossips) {
+    CommitGossip(node, send_cycle, cycle, &g);
+  }
 }
 
 void EagerProtocol::EndCycle(std::uint64_t /*cycle*/, Rng* rng) {

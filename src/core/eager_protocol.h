@@ -163,8 +163,10 @@ class EagerProtocol : public CycleProtocol {
   bool PlanGossip(const P3QNode* node, const EagerTask& task,
                   const PlanContext& ctx, TaskGossipMessage* message);
 
-  /// Applies one delivered gossip at commit time.
-  void CommitGossip(P3QNode* node, PlannedGossip* gossip);
+  /// Applies one delivered gossip at commit time; `send_cycle`/`cycle` are
+  /// the gossip's wire endpoints (traced as committed or stale).
+  void CommitGossip(P3QNode* node, std::uint64_t send_cycle,
+                    std::uint64_t cycle, PlannedGossip* gossip);
 
   /// Looks up a query's state; throws std::out_of_range naming the id when
   /// the query was never issued or has been forgotten.

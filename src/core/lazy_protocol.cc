@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/p3q_system.h"
+#include "obs/trace.h"
 
 namespace p3q {
 namespace {
@@ -318,16 +319,28 @@ void LazyProtocol::PlanCycle(UserId node_id, const PlanContext& ctx) {
     PlanBottomLayer(node, ctx, plan.get());
   }
   PlanTopLayer(node, ctx, plan.get());
-  if (!plan->Empty()) ctx.Send(std::move(plan));
+  if (plan->Empty()) return;
+  if (Tracer* tracer = system_->tracer(); tracer != nullptr) {
+    TraceEvent event;
+    event.cycle = ctx.cycle;
+    event.kind = TraceEventKind::kGossipPlanned;
+    event.node = node_id;
+    event.peer =
+        plan->exchange.Planned() ? plan->exchange.b : plan->bottom_peer;
+    event.value = static_cast<std::int64_t>(plan->exchange.offers_to_a.size() +
+                                            plan->exchange.offers_to_b.size());
+    tracer->EmitShard(ctx.shard, event);
+  }
+  ctx.Send(std::move(plan));
 }
 
 void LazyProtocol::EndPlan(std::uint64_t /*cycle*/) {
   system_->network().MergeShardTraffic();
 }
 
-void LazyProtocol::CommitMessage(UserId sender, std::uint64_t /*send_cycle*/,
-                                 std::uint64_t /*cycle*/,
-                                 DeliveryMessage& message, Rng* rng) {
+void LazyProtocol::CommitMessage(UserId sender, std::uint64_t send_cycle,
+                                 std::uint64_t cycle, DeliveryMessage& message,
+                                 Rng* rng) {
   auto& plan = static_cast<GossipMessage&>(message);
   P3QNode* node = &system_->node(sender);
 
@@ -353,6 +366,15 @@ void LazyProtocol::CommitMessage(UserId sender, std::uint64_t /*send_cycle*/,
     CommitProfileExchange(system_, plan.exchange);
     node->network().TouchGossiped(dest);
     system_->node(dest).network().ResetTimestamp(sender);
+    if (Tracer* tracer = system_->tracer(); tracer != nullptr) {
+      TraceEvent event;
+      event.cycle = cycle;
+      event.kind = TraceEventKind::kGossipCommitted;
+      event.node = sender;
+      event.peer = dest;
+      event.value = static_cast<std::int64_t>(cycle - send_cycle);
+      tracer->Emit(event);
+    }
   }
 }
 

@@ -48,6 +48,17 @@ void P3QSystem::SetThreads(int threads) {
   eager_engine_.SetThreads(threads);
 }
 
+void P3QSystem::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  engine_.SetTracer(tracer);
+  eager_engine_.SetTracer(tracer);
+}
+
+void P3QSystem::SetProfiler(PhaseProfiler* profiler) {
+  engine_.SetProfiler(profiler, "lazy");
+  eager_engine_.SetProfiler(profiler, "eager");
+}
+
 void P3QSystem::SetLatency(const LatencySpec& spec) {
   if (const std::string problem = spec.Validate(); !problem.empty()) {
     throw std::invalid_argument("LatencySpec: " + problem);

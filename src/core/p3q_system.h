@@ -39,6 +39,8 @@ namespace p3q {
 
 class LazyProtocol;
 class EagerProtocol;
+class Tracer;         // obs/trace.h
+class PhaseProfiler;  // obs/profiler.h
 
 /// A complete simulated P3Q deployment.
 class P3QSystem {
@@ -78,6 +80,18 @@ class P3QSystem {
   /// Throws std::invalid_argument when the spec fails Validate().
   void SetLatency(const LatencySpec& spec);
   const LatencySpec& latency() const { return latency_spec_; }
+
+  /// Attaches a deterministic event tracer (obs/trace.h) to both engines,
+  /// their delivery queues, and the protocols. Traces are observation-only:
+  /// they never perturb a run's results. Null detaches; the tracer must
+  /// outlive the system's remaining cycles.
+  void SetTracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a wall-clock phase profiler (obs/profiler.h): the lazy engine
+  /// accumulates under "lazy", the eager engine under "eager". Null
+  /// detaches. Like tracing, profiling is observation-only.
+  void SetProfiler(PhaseProfiler* profiler);
 
   /// Merged delivery counters of both engines; stale_dropped additionally
   /// folds in the eager protocol's superseded-gossip drops and the
@@ -241,6 +255,7 @@ class P3QSystem {
   std::unique_ptr<LazyProtocol> lazy_;
   std::unique_ptr<EagerProtocol> eager_;
   LatencySpec latency_spec_;  ///< default: ZeroLatency
+  Tracer* tracer_ = nullptr;
   std::array<PairCacheStripe, kPairCacheStripes> pair_cache_;
 };
 

@@ -1,0 +1,128 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace p3q {
+
+namespace {
+
+std::string Num(double value, int precision = 6) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace
+
+double PhaseBreakdown::MeanImbalance() const {
+  if (cycles == 0 || shards_per_cycle == 0) return 0.0;
+  // Both numerator and denominator are per-cycle means, so the cycle count
+  // cancels: aggregate max/mean = sum-of-maxes * shards / sum-of-all-shards.
+  if (shard_plan_sum_seconds <= 0.0) return 0.0;
+  return shard_plan_max_seconds * static_cast<double>(shards_per_cycle) /
+         shard_plan_sum_seconds;
+}
+
+void PhaseBreakdown::AddCycle(double plan, double barrier, double commit,
+                              double drain, double end_cycle, double shard_max,
+                              double shard_sum, std::uint64_t active_shards) {
+  ++cycles;
+  plan_seconds += plan;
+  barrier_seconds += barrier;
+  commit_seconds += commit;
+  drain_seconds += drain;
+  end_cycle_seconds += end_cycle;
+  shard_plan_max_seconds += shard_max;
+  shard_plan_sum_seconds += shard_sum;
+  shards_per_cycle = std::max(shards_per_cycle, active_shards);
+  if (active_shards > 0 && shard_sum > 0.0) {
+    const double mean = shard_sum / static_cast<double>(active_shards);
+    const double ratio = mean > 0.0 ? shard_max / mean : 1.0;
+    max_imbalance = std::max(max_imbalance, ratio);
+    const double offset = (ratio - 1.0) * 4.0;
+    std::size_t bucket =
+        offset <= 0.0 ? 0 : static_cast<std::size_t>(offset);
+    bucket = std::min(bucket, kImbalanceBuckets - 1);
+    ++imbalance_histogram[bucket];
+  }
+}
+
+void PhaseBreakdown::MergeFrom(const PhaseBreakdown& other) {
+  cycles += other.cycles;
+  plan_seconds += other.plan_seconds;
+  barrier_seconds += other.barrier_seconds;
+  commit_seconds += other.commit_seconds;
+  drain_seconds += other.drain_seconds;
+  end_cycle_seconds += other.end_cycle_seconds;
+  shard_plan_max_seconds += other.shard_plan_max_seconds;
+  shard_plan_sum_seconds += other.shard_plan_sum_seconds;
+  shards_per_cycle = std::max(shards_per_cycle, other.shards_per_cycle);
+  max_imbalance = std::max(max_imbalance, other.max_imbalance);
+  for (std::size_t i = 0; i < kImbalanceBuckets; ++i) {
+    imbalance_histogram[i] += other.imbalance_histogram[i];
+  }
+}
+
+PhaseBreakdown PhaseBreakdown::Since(const PhaseBreakdown& earlier) const {
+  PhaseBreakdown delta;
+  delta.cycles = cycles - earlier.cycles;
+  delta.plan_seconds = plan_seconds - earlier.plan_seconds;
+  delta.barrier_seconds = barrier_seconds - earlier.barrier_seconds;
+  delta.commit_seconds = commit_seconds - earlier.commit_seconds;
+  delta.drain_seconds = drain_seconds - earlier.drain_seconds;
+  delta.end_cycle_seconds = end_cycle_seconds - earlier.end_cycle_seconds;
+  delta.shard_plan_max_seconds =
+      shard_plan_max_seconds - earlier.shard_plan_max_seconds;
+  delta.shard_plan_sum_seconds =
+      shard_plan_sum_seconds - earlier.shard_plan_sum_seconds;
+  delta.shards_per_cycle = shards_per_cycle;
+  // Maxima are not subtractable; the delta keeps the running maximum, which
+  // is still an upper bound for the window.
+  delta.max_imbalance = max_imbalance;
+  for (std::size_t i = 0; i < kImbalanceBuckets; ++i) {
+    delta.imbalance_histogram[i] =
+        imbalance_histogram[i] - earlier.imbalance_histogram[i];
+  }
+  return delta;
+}
+
+std::string PhaseProfilerToJson(const PhaseProfiler& profiler) {
+  std::string out = "{\n  \"engines\": {";
+  bool first_engine = true;
+  for (const auto& [label, breakdown] : profiler.breakdowns()) {
+    if (!first_engine) out += ",";
+    first_engine = false;
+    out += "\n    \"" + label + "\": {\n";
+    out += "      \"cycles\": " + std::to_string(breakdown.cycles) + ",\n";
+    out += "      \"plan_seconds\": " + Num(breakdown.plan_seconds) + ",\n";
+    out +=
+        "      \"barrier_seconds\": " + Num(breakdown.barrier_seconds) + ",\n";
+    out += "      \"commit_seconds\": " + Num(breakdown.commit_seconds) + ",\n";
+    out += "      \"drain_seconds\": " + Num(breakdown.drain_seconds) + ",\n";
+    out += "      \"end_cycle_seconds\": " + Num(breakdown.end_cycle_seconds) +
+           ",\n";
+    out += "      \"total_seconds\": " + Num(breakdown.TotalSeconds()) + ",\n";
+    out += "      \"shard_plan_max_seconds\": " +
+           Num(breakdown.shard_plan_max_seconds) + ",\n";
+    out += "      \"shard_plan_sum_seconds\": " +
+           Num(breakdown.shard_plan_sum_seconds) + ",\n";
+    out += "      \"active_shards\": " +
+           std::to_string(breakdown.shards_per_cycle) + ",\n";
+    out += "      \"mean_imbalance\": " + Num(breakdown.MeanImbalance(), 3) +
+           ",\n";
+    out += "      \"max_imbalance\": " + Num(breakdown.max_imbalance, 3) +
+           ",\n";
+    out += "      \"imbalance_histogram\": [";
+    for (std::size_t i = 0; i < kImbalanceBuckets; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(breakdown.imbalance_histogram[i]);
+    }
+    out += "]\n    }";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace p3q

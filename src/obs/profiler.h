@@ -1,0 +1,92 @@
+// Wall-clock phase profiling for the cycle engine.
+//
+// Unlike the tracer (obs/trace.h), which is deterministic and cycle-stamped,
+// the profiler measures real elapsed time: how long each engine phase (plan,
+// barrier fold, per-node commit, delivery drain, EndCycle) takes per cycle,
+// and how evenly the plan phase's work spreads across shards. It answers the
+// "where does the wall-clock go" questions the SIMD/NUMA and multi-process
+// roadmap items need, so it reports through the opt-in --timing gate and
+// never perturbs default byte-stable reports.
+#ifndef P3Q_OBS_PROFILER_H_
+#define P3Q_OBS_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace p3q {
+
+/// Histogram of per-cycle plan-phase imbalance (max shard time / mean shard
+/// time). Bucket i covers ratios [1 + i/4, 1 + (i+1)/4); the last bucket is
+/// open-ended. Ratio 1.0 = perfectly balanced shards.
+inline constexpr std::size_t kImbalanceBuckets = 16;
+
+/// Accumulated wall-clock breakdown for one engine (one protocol loop).
+struct PhaseBreakdown {
+  std::uint64_t cycles = 0;            ///< cycles measured
+  double plan_seconds = 0.0;           ///< parallel plan phase
+  double barrier_seconds = 0.0;        ///< EndPlan + trace/queue folds
+  double commit_seconds = 0.0;         ///< sequential per-node CommitCycle
+  double drain_seconds = 0.0;          ///< delivery drain + message commits
+  double end_cycle_seconds = 0.0;      ///< protocol EndCycle
+  double shard_plan_max_seconds = 0.0; ///< sum over cycles of max shard time
+  double shard_plan_sum_seconds = 0.0; ///< sum over cycles of all shard times
+  std::uint64_t shards_per_cycle = 0;  ///< active (non-empty) shards
+  double max_imbalance = 0.0;          ///< worst per-cycle max/mean ratio
+  std::array<std::uint64_t, kImbalanceBuckets> imbalance_histogram{};
+
+  /// Total measured engine time.
+  double TotalSeconds() const {
+    return plan_seconds + barrier_seconds + commit_seconds + drain_seconds +
+           end_cycle_seconds;
+  }
+
+  /// Mean per-cycle plan imbalance: max shard time over mean shard time,
+  /// aggregated across cycles. 0 when nothing was measured.
+  double MeanImbalance() const;
+
+  /// Folds one cycle's measurements in. `shard_seconds`/`active_shards`
+  /// describe the plan phase's per-shard times (max, sum, count of shards
+  /// that had nodes to plan).
+  void AddCycle(double plan, double barrier, double commit, double drain,
+                double end_cycle, double shard_max, double shard_sum,
+                std::uint64_t active_shards);
+
+  void MergeFrom(const PhaseBreakdown& other);
+
+  /// Delta since an earlier snapshot of the same breakdown.
+  PhaseBreakdown Since(const PhaseBreakdown& earlier) const;
+};
+
+/// Collects PhaseBreakdowns keyed by engine label ("lazy", "eager").
+/// Engines hold a stable pointer to their breakdown, so attaching the
+/// profiler is one pointer store per engine.
+class PhaseProfiler {
+ public:
+  /// Returns the breakdown for `label`, creating it on first use. The
+  /// pointer stays valid for the profiler's lifetime.
+  PhaseBreakdown* Breakdown(const std::string& label) {
+    return &breakdowns_[label];
+  }
+
+  const std::map<std::string, PhaseBreakdown>& breakdowns() const {
+    return breakdowns_;
+  }
+
+  /// Snapshot of every breakdown, for later Since deltas.
+  std::map<std::string, PhaseBreakdown> Snapshot() const {
+    return breakdowns_;
+  }
+
+ private:
+  std::map<std::string, PhaseBreakdown> breakdowns_;
+};
+
+/// Renders the profiler as a JSON document:
+/// {"engines":{"lazy":{"cycles":..,"plan_seconds":..,...},"eager":{...}}}
+std::string PhaseProfilerToJson(const PhaseProfiler& profiler);
+
+}  // namespace p3q
+
+#endif  // P3Q_OBS_PROFILER_H_

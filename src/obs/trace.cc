@@ -1,0 +1,175 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace p3q {
+
+namespace {
+
+constexpr const char* kKindNames[kNumTraceEventKinds] = {
+    "gossip_planned",    "gossip_committed", "message_enqueued",
+    "message_delivered", "message_dropped",  "message_stale",
+    "query_issued",      "query_first_result", "query_completed",
+    "query_abandoned",   "node_departed",    "node_rejoined",
+};
+
+// Writes the fields every sink shares: node, peer (-1 when absent), id,
+// value.
+void AppendCommonFields(const TraceEvent& event, std::ostream* out) {
+  *out << "\"node\":" << event.node << ",\"peer\":";
+  if (event.peer == kInvalidUser) {
+    *out << -1;
+  } else {
+    *out << event.peer;
+  }
+  *out << ",\"id\":" << event.id << ",\"value\":" << event.value;
+}
+
+}  // namespace
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  const int index = static_cast<int>(kind);
+  if (index < 0 || index >= kNumTraceEventKinds) return "unknown";
+  return kKindNames[index];
+}
+
+std::uint32_t AllTraceKindsMask() {
+  return (1u << kNumTraceEventKinds) - 1u;
+}
+
+std::string ParseTraceKindMask(const std::string& text, std::uint32_t* mask) {
+  if (text.empty()) {
+    *mask = AllTraceKindsMask();
+    return "";
+  }
+  std::uint32_t result = 0;
+  std::stringstream stream(text);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    bool found = false;
+    for (int i = 0; i < kNumTraceEventKinds; ++i) {
+      if (token == kKindNames[i]) {
+        result |= 1u << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string known;
+      for (int i = 0; i < kNumTraceEventKinds; ++i) {
+        if (i > 0) known += ", ";
+        known += kKindNames[i];
+      }
+      return "unknown trace event kind '" + token + "' (known: " + known + ")";
+    }
+  }
+  if (result == 0) return "trace filter selects no event kinds";
+  *mask = result;
+  return "";
+}
+
+void JsonlTraceSink::Write(std::uint64_t seq, const TraceEvent& event) {
+  *out_ << "{\"seq\":" << seq << ",\"cycle\":" << event.cycle << ",\"kind\":\""
+        << TraceEventKindName(event.kind) << "\",";
+  AppendCommonFields(event, out_);
+  *out_ << "}\n";
+}
+
+void ChromeTraceSink::Write(std::uint64_t seq, const TraceEvent& event) {
+  if (first_) {
+    *out_ << "{\"traceEvents\":[\n";
+    first_ = false;
+  } else {
+    *out_ << ",\n";
+  }
+  // Instant events with thread scope: ts is the simulated cycle expressed in
+  // microseconds-per-cycle ticks so Perfetto lays cycles out 1ms apart.
+  *out_ << "{\"name\":\"" << TraceEventKindName(event.kind)
+        << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << event.cycle * 1000
+        << ",\"pid\":1,\"tid\":" << event.node << ",\"args\":{\"seq\":" << seq
+        << ",";
+  AppendCommonFields(event, out_);
+  *out_ << "}}";
+}
+
+void ChromeTraceSink::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (first_) {
+    *out_ << "{\"traceEvents\":[";
+    first_ = false;
+  } else {
+    *out_ << "\n";
+  }
+  *out_ << "]}\n";
+}
+
+void Tracer::SetNodeFilter(const std::vector<UserId>& nodes) {
+  node_filter_.clear();
+  if (nodes.empty()) return;
+  UserId max_node = 0;
+  for (UserId node : nodes) max_node = std::max(max_node, node);
+  node_filter_.assign(static_cast<std::size_t>(max_node) + 1, 0);
+  for (UserId node : nodes) node_filter_[node] = 1;
+}
+
+void Tracer::SetRingCapacity(std::size_t capacity) {
+  ring_capacity_ = capacity;
+  ring_.clear();
+  ring_seqs_.clear();
+  ring_head_ = 0;
+  if (capacity > 0) {
+    ring_.reserve(capacity);
+    ring_seqs_.reserve(capacity);
+  }
+}
+
+void Tracer::Accept(const TraceEvent& event) {
+  const std::uint64_t seq = next_seq_++;
+  ++counts_[static_cast<int>(event.kind)];
+  if (ring_capacity_ == 0) {
+    sink_->Write(seq, event);
+    return;
+  }
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(event);
+    ring_seqs_.push_back(seq);
+  } else {
+    ring_[ring_head_] = event;
+    ring_seqs_[ring_head_] = seq;
+    ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  }
+}
+
+void Tracer::FoldShards() {
+  for (std::size_t shard = 0; shard < kEngineShards; ++shard) {
+    std::vector<TraceEvent>& buffer = shard_buffers_[shard];
+    for (const TraceEvent& event : buffer) Accept(event);
+    buffer.clear();
+  }
+}
+
+void Tracer::DumpRing() {
+  if (ring_capacity_ == 0 || dumped_) return;
+  dumped_ = true;
+  // Oldest first: the slot at ring_head_ is the next overwrite target, i.e.
+  // the oldest surviving event once the ring has wrapped.
+  const std::size_t count = ring_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t slot =
+        count < ring_capacity_ ? i : (ring_head_ + i) % ring_capacity_;
+    sink_->Write(ring_seqs_[slot], ring_[slot]);
+  }
+  sink_->Finish();
+}
+
+void Tracer::Finish() {
+  if (ring_capacity_ != 0) return;
+  sink_->Finish();
+}
+
+}  // namespace p3q

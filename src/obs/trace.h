@@ -1,0 +1,228 @@
+// Deterministic structured event tracing for the simulator.
+//
+// Every interesting thing a run does — a gossip exchange planned or
+// committed, a delivery message enqueued/delivered/dropped/stale, a query
+// moving through its lifecycle, a node departing or rejoining — can be
+// emitted as a TraceEvent: a small, cycle-stamped record. Events are NEVER
+// wall-clock stamped, so a trace is a pure function of (scenario, options)
+// and two runs with the same seed produce byte-identical traces.
+//
+// Thread-count independence follows the engine's mailbox discipline
+// (sim/engine.h): plan-phase threads emit through EmitShard into per-shard
+// buffers (race-free — one shard is always planned by one thread, in
+// ascending node order), and the engine folds the buffers at the cycle
+// barrier in shard order (Tracer::FoldShards). Sequential contexts (commit,
+// drain, runner events) emit directly. Global sequence numbers are assigned
+// at the sequential accept point, so `--threads=N` traces are byte-identical
+// for every N.
+//
+// Two sinks ship with the tracer: JSONL (one object per line, grep/jq
+// friendly) and the Chrome trace_event format (load the file in Perfetto or
+// chrome://tracing). Filters — a per-kind bitmask and an optional node set —
+// are applied at emit time. A bounded flight-recorder ring mode keeps only
+// the last N accepted events in memory and dumps them when an invariant
+// throws (or at the end of the run), bounding trace cost on long timelines.
+#ifndef P3Q_OBS_TRACE_H_
+#define P3Q_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/engine.h"
+
+namespace p3q {
+
+/// Every kind of event the simulator can trace.
+enum class TraceEventKind : int {
+  kGossipPlanned = 0,   ///< a node planned a gossip exchange (plan phase)
+  kGossipCommitted,     ///< a delivered gossip exchange was applied
+  kMessageEnqueued,     ///< a delivery message accepted onto the wire (Fold)
+  kMessageDelivered,    ///< a delivery message handed to the commit phase
+  kMessageDropped,      ///< lost at send time by the latency model
+  kMessageStale,        ///< arrived but discarded (superseded / forgotten)
+  kQueryIssued,         ///< an open-loop query entered the system
+  kQueryFirstResult,    ///< first remote partial result reached the querier
+  kQueryCompleted,      ///< recall target reached or eager-finalized
+  kQueryAbandoned,      ///< still open when the run ended
+  kNodeDeparted,        ///< a user went offline (event or duty cycle)
+  kNodeRejoined,        ///< a departed user came back
+  kCount
+};
+
+inline constexpr int kNumTraceEventKinds =
+    static_cast<int>(TraceEventKind::kCount);
+
+/// Stable snake_case name of a kind ("gossip_planned", ...).
+const char* TraceEventKindName(TraceEventKind kind);
+
+/// Parses a comma-separated kind list ("gossip_planned,query_issued") into a
+/// bitmask (bit i = kind i). Empty input selects every kind. Returns an
+/// empty string on success, else a description of the first unknown name.
+std::string ParseTraceKindMask(const std::string& text, std::uint32_t* mask);
+
+/// Bitmask selecting every kind.
+std::uint32_t AllTraceKindsMask();
+
+/// One traced event. Field meaning by kind:
+///   node  — the acting user (sender / querier / departed node)
+///   peer  — the counterpart (gossip destination); kInvalidUser when n/a
+///   id    — query id or delivery sequence number; 0 when n/a
+///   value — kind-specific magnitude (delay, lag, latency, payload size)
+struct TraceEvent {
+  std::uint64_t cycle = 0;  ///< engine or timeline cycle; never wall clock
+  TraceEventKind kind = TraceEventKind::kCount;
+  UserId node = kInvalidUser;
+  UserId peer = kInvalidUser;
+  std::uint64_t id = 0;
+  std::int64_t value = 0;
+};
+
+/// Where accepted events go. Write is called once per accepted event with a
+/// monotone `seq` (the global accept order); Finish closes any framing.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Write(std::uint64_t seq, const TraceEvent& event) = 0;
+  virtual void Finish() {}
+};
+
+/// One JSON object per line:
+/// {"seq":0,"cycle":3,"kind":"gossip_planned","node":5,"peer":12,"id":0,"value":1}
+class JsonlTraceSink : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream* out) : out_(out) {}
+  void Write(std::uint64_t seq, const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Chrome trace_event JSON ("{"traceEvents":[...]}"): instant events, one
+/// per trace event, ts = cycle in simulated milliseconds, tid = node. Loads
+/// in Perfetto and chrome://tracing.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream* out) : out_(out) {}
+  void Write(std::uint64_t seq, const TraceEvent& event) override;
+  void Finish() override;
+
+ private:
+  std::ostream* out_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+/// In-memory sink for tests.
+class VectorTraceSink : public TraceSink {
+ public:
+  void Write(std::uint64_t seq, const TraceEvent& event) override {
+    seqs_.push_back(seq);
+    events_.push_back(event);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::uint64_t>& seqs() const { return seqs_; }
+
+ private:
+  std::vector<std::uint64_t> seqs_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The tracer every hook talks to. Owns the per-shard plan buffers, the
+/// filters, the per-kind rollup counters and (in ring mode) the flight
+/// recorder; forwards accepted events to the sink.
+class Tracer {
+ public:
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Per-kind filter: only kinds whose bit is set are accepted. Default:
+  /// everything.
+  void SetKindMask(std::uint32_t mask) { kind_mask_ = mask; }
+
+  /// Node filter: when non-empty, only events whose node OR peer is in the
+  /// set are accepted. Default: every node.
+  void SetNodeFilter(const std::vector<UserId>& nodes);
+
+  /// Flight-recorder mode: keep only the last `capacity` accepted events in
+  /// memory instead of streaming them; DumpRing writes them out. 0 (the
+  /// default) streams every accepted event to the sink immediately.
+  void SetRingCapacity(std::size_t capacity);
+
+  /// Emit from a plan-phase thread working shard `shard`. Race-free under
+  /// the engine's one-shard-one-thread contract; buffered until FoldShards.
+  void EmitShard(std::size_t shard, const TraceEvent& event) {
+    if (!Passes(event)) return;
+    shard_buffers_[shard].push_back(event);
+  }
+
+  /// Emit from a sequential context (commit, drain, runner): accepted
+  /// immediately, in call order.
+  void Emit(const TraceEvent& event) {
+    if (!Passes(event)) return;
+    Accept(event);
+  }
+
+  /// Barrier step: drains the per-shard buffers in shard order into the
+  /// accept stream. Called by the engine after EndPlan — the same fold
+  /// point as DeliveryQueue::Fold, so trace order is thread-count
+  /// independent.
+  void FoldShards();
+
+  /// Ring mode: writes the buffered tail to the sink (oldest first) and
+  /// finishes it. Idempotent — the runner dumps on an invariant throw, the
+  /// CLI dumps at normal exit; whichever fires first wins. No-op when not
+  /// in ring mode.
+  void DumpRing();
+
+  /// Stream mode: closes the sink's framing. No-op in ring mode (DumpRing
+  /// finishes the sink there).
+  void Finish();
+
+  /// Accepted events by kind (after filters) — the report rollup source.
+  /// Deterministic: counted at the sequential accept point.
+  using KindCounts = std::array<std::uint64_t, kNumTraceEventKinds>;
+  const KindCounts& counts() const { return counts_; }
+
+  /// Total accepted events.
+  std::uint64_t accepted() const { return next_seq_; }
+
+ private:
+  bool Passes(const TraceEvent& event) const {
+    if ((kind_mask_ & (1u << static_cast<int>(event.kind))) == 0) return false;
+    if (!node_filter_.empty()) {
+      const bool node_in =
+          event.node != kInvalidUser && event.node < node_filter_.size() &&
+          node_filter_[event.node] != 0;
+      const bool peer_in =
+          event.peer != kInvalidUser && event.peer < node_filter_.size() &&
+          node_filter_[event.peer] != 0;
+      if (!node_in && !peer_in) return false;
+    }
+    return true;
+  }
+
+  void Accept(const TraceEvent& event);
+
+  TraceSink* sink_;
+  std::uint32_t kind_mask_ = 0xffffffffu;
+  std::vector<char> node_filter_;  ///< empty = every node passes
+  std::array<std::vector<TraceEvent>, kEngineShards> shard_buffers_;
+  KindCounts counts_{};
+  std::uint64_t next_seq_ = 0;
+  // Flight recorder (ring mode).
+  std::size_t ring_capacity_ = 0;
+  std::vector<TraceEvent> ring_;
+  std::vector<std::uint64_t> ring_seqs_;
+  std::size_t ring_head_ = 0;  ///< next overwrite slot once the ring is full
+  bool dumped_ = false;
+};
+
+}  // namespace p3q
+
+#endif  // P3Q_OBS_TRACE_H_

@@ -158,6 +158,68 @@ void AppendDeliveryJson(const DeliveryStats& delivery,
   *out << "}";
 }
 
+/// Per-kind accepted-event counts of a traced run (phase delta or totals).
+void AppendTraceEventsJson(const Tracer::KindCounts& counts,
+                           std::ostringstream* out) {
+  *out << "{";
+  for (int i = 0; i < kNumTraceEventKinds; ++i) {
+    if (i > 0) *out << ", ";
+    *out << "\"" << TraceEventKindName(static_cast<TraceEventKind>(i))
+         << "\": " << counts[i];
+  }
+  *out << "}";
+}
+
+/// Wall-clock phase breakdown per engine label ("lazy"/"eager"). Wall-clock
+/// fields are inherently non-deterministic, which is why this block rides
+/// the same opt-in gate as the timing block.
+void AppendProfileJson(const std::map<std::string, PhaseBreakdown>& profile,
+                       std::ostringstream* out) {
+  *out << "{";
+  bool first = true;
+  for (const auto& [label, b] : profile) {
+    if (!first) *out << ", ";
+    first = false;
+    *out << "\"" << JsonEscape(label) << "\": {\"cycles\": " << b.cycles
+         << ", \"plan_seconds\": " << Num(b.plan_seconds)
+         << ", \"barrier_seconds\": " << Num(b.barrier_seconds)
+         << ", \"commit_seconds\": " << Num(b.commit_seconds)
+         << ", \"drain_seconds\": " << Num(b.drain_seconds)
+         << ", \"end_cycle_seconds\": " << Num(b.end_cycle_seconds)
+         << ", \"mean_imbalance\": " << Num(b.MeanImbalance(), 3)
+         << ", \"max_imbalance\": " << Num(b.max_imbalance, 3) << "}";
+  }
+  *out << "}";
+}
+
+/// Engine-label-aggregated profile figures for the flat CSV columns: phase
+/// seconds sum across engines; the imbalance column takes the worst engine's
+/// mean plan imbalance.
+struct ProfileRollup {
+  double plan = 0;
+  double barrier = 0;
+  double commit = 0;
+  double drain = 0;
+  double end_cycle = 0;
+  double imbalance = 0;
+};
+
+ProfileRollup RollupProfile(
+    const std::map<std::string, PhaseBreakdown>& profile) {
+  ProfileRollup r;
+  for (const auto& [label, b] : profile) {
+    (void)label;
+    r.plan += b.plan_seconds;
+    r.barrier += b.barrier_seconds;
+    r.commit += b.commit_seconds;
+    r.drain += b.drain_seconds;
+    r.end_cycle += b.end_cycle_seconds;
+    const double mean = b.MeanImbalance();
+    if (mean > r.imbalance) r.imbalance = mean;
+  }
+  return r;
+}
+
 }  // namespace
 
 std::string ScenarioReportToJson(const ScenarioReport& report,
@@ -165,6 +227,11 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
   // The delivery block appears only under a non-zero latency model, so
   // ZeroLatency reports stay byte-identical to the synchronous engine's.
   const bool include_delivery = !report.latency.IsZero();
+  // Trace/profile blocks require BOTH the opt-in timing gate and an actually
+  // observed run, so a traced run's default report stays byte-identical to
+  // an untraced one (tracing is observation-only).
+  const bool include_trace = include_timing && report.traced;
+  const bool include_profile = include_timing && report.profiled;
   std::ostringstream out;
   out << "{\n"
       << "  \"scenario\": \"" << JsonEscape(report.scenario) << "\",\n"
@@ -213,6 +280,14 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
       out << ",\n      \"timing\": ";
       AppendTimingJson(p.timing, report.open_loop, &out);
     }
+    if (include_trace) {
+      out << ",\n      \"trace_events\": ";
+      AppendTraceEventsJson(p.trace_events, &out);
+    }
+    if (include_profile) {
+      out << ",\n      \"profile\": ";
+      AppendProfileJson(p.profile, &out);
+    }
     out << "\n    }" << (i + 1 < report.phases.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
@@ -240,6 +315,14 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
     out << ",\n    \"timing\": ";
     AppendTimingJson(report.total_timing, report.open_loop, &out);
   }
+  if (include_trace) {
+    out << ",\n    \"trace_events\": ";
+    AppendTraceEventsJson(report.total_trace_events, &out);
+  }
+  if (include_profile) {
+    out << ",\n    \"profile\": ";
+    AppendProfileJson(report.total_profile, &out);
+  }
   out << "\n  }\n}\n";
   return out.str();
 }
@@ -249,6 +332,10 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
   // Delivery columns appear only under a non-zero latency model (the same
   // gating as the JSON emitter) so ZeroLatency CSV stays byte-identical.
   const bool include_delivery = !report.latency.IsZero();
+  // Same double gate as the JSON emitter: trace/profile columns need both
+  // the timing opt-in and an observed run.
+  const bool include_trace = include_timing && report.traced;
+  const bool include_profile = include_timing && report.profiled;
   std::ostringstream out;
   out << "scenario,phase,mode,cycles,online_at_end,departures,rejoins,"
          "queries_issued,queries_completed,avg_recall,avg_coverage,"
@@ -271,6 +358,15 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
     out << ",threads,wall_seconds,cycles_per_sec,user_cycles_per_sec";
     if (report.open_loop) out << ",queries_per_sec,slo_queries_per_sec";
   }
+  if (include_trace) {
+    for (int i = 0; i < kNumTraceEventKinds; ++i) {
+      out << ",ev_" << TraceEventKindName(static_cast<TraceEventKind>(i));
+    }
+  }
+  if (include_profile) {
+    out << ",prof_plan_s,prof_barrier_s,prof_commit_s,prof_drain_s,"
+           "prof_end_s,prof_shard_imbalance";
+  }
   out << "\n";
 
   auto row = [&](const std::string& phase_name, const std::string& mode,
@@ -280,7 +376,9 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
                  const Metrics& traffic, const DeliveryStats& delivery,
                  std::size_t in_flight_at_end, const std::string& arrivals,
                  const QueryLatencyStats& query_latency,
-                 std::size_t open_queries_at_end, const PhaseTiming& timing) {
+                 std::size_t open_queries_at_end, const PhaseTiming& timing,
+                 const Tracer::KindCounts& trace_events,
+                 const std::map<std::string, PhaseBreakdown>& profile) {
     out << report.scenario << "," << phase_name << "," << mode << "," << cycles
         << "," << online_at_end << "," << departures << "," << rejoins << ","
         << issued << "," << completed << "," << Num(recall) << ","
@@ -318,6 +416,17 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
             << Num(timing.slo_queries_per_sec, 1);
       }
     }
+    if (include_trace) {
+      for (int i = 0; i < kNumTraceEventKinds; ++i) {
+        out << "," << trace_events[i];
+      }
+    }
+    if (include_profile) {
+      const ProfileRollup r = RollupProfile(profile);
+      out << "," << Num(r.plan) << "," << Num(r.barrier) << ","
+          << Num(r.commit) << "," << Num(r.drain) << "," << Num(r.end_cycle)
+          << "," << Num(r.imbalance, 3);
+    }
     out << "\n";
   };
 
@@ -325,7 +434,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
     row(p.name, p.mode, p.cycles, p.online_at_end, p.departures, p.rejoins,
         p.queries_issued, p.queries_completed, p.avg_recall, p.avg_coverage,
         p.success_ratio, p.traffic, p.delivery, p.in_flight_at_end, p.arrivals,
-        p.query_latency, p.open_queries_at_end, p.timing);
+        p.query_latency, p.open_queries_at_end, p.timing, p.trace_events,
+        p.profile);
   }
   const PhaseReport* last = report.phases.empty() ? nullptr : &report.phases.back();
   row("total", "-", report.total_cycles,
@@ -337,7 +447,8 @@ std::string ScenarioReportToCsv(const ScenarioReport& report,
       last != nullptr ? last->success_ratio : 0, report.total_traffic,
       report.total_delivery,
       last != nullptr ? last->in_flight_at_end : 0, "-",
-      report.total_query_latency, 0, report.total_timing);
+      report.total_query_latency, 0, report.total_timing,
+      report.total_trace_events, report.total_profile);
   return out.str();
 }
 

@@ -15,7 +15,10 @@
 // carry a query_latency block per phase and in the totals — issue counts,
 // completion/first-result latency percentiles (flagged lower bounds when
 // the histogram clamped) and SLO goodput — omitted for closed-loop runs so
-// their output is unchanged.
+// their output is unchanged. Traced/profiled runs add a trace_events rollup
+// (accepted events by kind) and a per-engine wall-clock phase breakdown —
+// both gated on `include_timing` AND the run actually being observed, so a
+// traced run's default report is byte-identical to an untraced one.
 #ifndef P3Q_SCENARIO_REPORT_H_
 #define P3Q_SCENARIO_REPORT_H_
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <utility>
 
@@ -84,10 +85,22 @@ void TryIssueServingQuery(P3QSystem* system, const Dataset& dataset,
   }
 }
 
-}  // namespace
+/// Emits one node_departed / node_rejoined event per user at the timeline
+/// cycle; no-op without a tracer.
+void TraceLiveness(Tracer* tracer, TraceEventKind kind, std::uint64_t cycle,
+                   const std::vector<UserId>& users) {
+  if (tracer == nullptr) return;
+  for (UserId u : users) {
+    TraceEvent event;
+    event.cycle = cycle;
+    event.kind = kind;
+    event.node = u;
+    tracer->Emit(event);
+  }
+}
 
-ScenarioReport RunScenario(const Scenario& scenario,
-                           const ScenarioRunnerOptions& options) {
+ScenarioReport RunScenarioTimeline(const Scenario& scenario,
+                                   const ScenarioRunnerOptions& options) {
   if (const std::string problem = scenario.Validate(); !problem.empty()) {
     throw std::invalid_argument("scenario '" + scenario.name +
                                 "': " + problem);
@@ -128,6 +141,8 @@ ScenarioReport RunScenario(const Scenario& scenario,
   // default is ZeroLatency (byte-identical to the synchronous engine).
   const LatencySpec latency = options.latency.value_or(scenario.latency);
   system.SetLatency(latency);
+  system.SetTracer(options.tracer);
+  system.SetProfiler(options.profiler);
   system.BootstrapRandomViews();
   // Workload randomness (querier choice, duty sampling, update batches) is
   // forked off the master seed, decorrelated from the system's own stream.
@@ -150,6 +165,8 @@ ScenarioReport RunScenario(const Scenario& scenario,
   report.top_k = config.top_k;
   report.alpha = config.alpha;
   report.latency = latency;
+  report.traced = options.tracer != nullptr;
+  report.profiled = options.profiler != nullptr;
 
   // The ideal networks the success ratio compares against; recomputed only
   // when an update storm changed the profiles.
@@ -187,6 +204,12 @@ ScenarioReport RunScenario(const Scenario& scenario,
     std::vector<OpenQuery> open;
     const Metrics before = system.metrics().Snapshot();
     const DeliveryStats delivery_before = system.DeliveryStatsTotal();
+    Tracer::KindCounts trace_before{};
+    if (options.tracer != nullptr) trace_before = options.tracer->counts();
+    std::map<std::string, PhaseBreakdown> profile_before;
+    if (options.profiler != nullptr) {
+      profile_before = options.profiler->Snapshot();
+    }
     double online_cycle_sum = 0;  // Σ over cycles of online users (work rate)
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -197,12 +220,22 @@ ScenarioReport RunScenario(const Scenario& scenario,
           continue;
         }
         switch (event.kind) {
-          case EventKind::kDeparture:
-            pr.departures += system.FailRandomFraction(event.fraction).size();
+          case EventKind::kDeparture: {
+            const std::vector<UserId> departed =
+                system.FailRandomFraction(event.fraction);
+            pr.departures += departed.size();
+            TraceLiveness(options.tracer, TraceEventKind::kNodeDeparted,
+                          serving_cycle, departed);
             break;
-          case EventKind::kRejoin:
-            pr.rejoins += system.RejoinRandomFraction(event.fraction).size();
+          }
+          case EventKind::kRejoin: {
+            const std::vector<UserId> rejoined =
+                system.RejoinRandomFraction(event.fraction);
+            pr.rejoins += rejoined.size();
+            TraceLiveness(options.tracer, TraceEventKind::kNodeRejoined,
+                          serving_cycle, rejoined);
             break;
+          }
           case EventKind::kQueryBurst: {
             const std::vector<UserId> online = system.network().OnlineUsers();
             for (int i = 0; i < event.count; ++i) {
@@ -237,12 +270,16 @@ ScenarioReport RunScenario(const Scenario& scenario,
                   system.network().OnlineUsers(), current - target_online);
           for (UserId u : leaving) system.FailUser(u);
           pr.departures += leaving.size();
+          TraceLiveness(options.tracer, TraceEventKind::kNodeDeparted,
+                        serving_cycle, leaving);
         } else if (current < target_online) {
           std::vector<UserId> back = workload_rng.SampleWithoutReplacement(
               system.network().OfflineUsers(), target_online - current);
           std::sort(back.begin(), back.end());
           for (UserId u : back) system.RejoinUser(u);
           pr.rejoins += back.size();
+          TraceLiveness(options.tracer, TraceEventKind::kNodeRejoined,
+                        serving_cycle, back);
         }
       }
 
@@ -292,6 +329,20 @@ ScenarioReport RunScenario(const Scenario& scenario,
       if (tracker.has_value() && tracker->open() > 0) {
         tracker->Poll(&system, serving_cycle, &serving_stats);
       }
+
+      // 7. Progress heartbeat (stderr only; stdout reports are sacred).
+      if (options.progress_every > 0 &&
+          serving_cycle % options.progress_every == 0) {
+        std::fprintf(stderr,
+                     "p3q_sim: phase %s cycle %llu/%llu (timeline %llu), "
+                     "%zu queries open, %zu messages in flight\n",
+                     phase.name.c_str(),
+                     static_cast<unsigned long long>(cycle + 1),
+                     static_cast<unsigned long long>(cycles),
+                     static_cast<unsigned long long>(serving_cycle),
+                     tracker.has_value() ? tracker->open() : std::size_t{0},
+                     system.MessagesInFlight());
+      }
     }
     const auto wall_end = std::chrono::steady_clock::now();
 
@@ -327,6 +378,17 @@ ScenarioReport RunScenario(const Scenario& scenario,
     pr.in_flight_at_end = system.MessagesInFlight();
     pr.query_latency = serving_stats.Since(serving_before);
     pr.open_queries_at_end = tracker.has_value() ? tracker->open() : 0;
+    if (options.tracer != nullptr) {
+      const Tracer::KindCounts& now = options.tracer->counts();
+      for (std::size_t i = 0; i < now.size(); ++i) {
+        pr.trace_events[i] = MonotoneDelta(now[i], trace_before[i]);
+      }
+    }
+    if (options.profiler != nullptr) {
+      for (const auto& [label, breakdown] : options.profiler->breakdowns()) {
+        pr.profile[label] = breakdown.Since(profile_before[label]);
+      }
+    }
 
     pr.timing.wall_seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
@@ -356,11 +418,21 @@ ScenarioReport RunScenario(const Scenario& scenario,
   // Queries still open when the timeline ends never completed: count them
   // as abandoned in the run totals (the per-phase deltas are already
   // closed, so no phase claims them as completions).
-  if (tracker.has_value()) tracker->Abandon(&system, &serving_stats);
+  if (tracker.has_value()) {
+    tracker->Abandon(&system, serving_cycle, &serving_stats);
+  }
   report.total_query_latency = serving_stats;
 
   report.total_traffic = system.metrics().Snapshot();
   report.total_delivery = system.DeliveryStatsTotal();
+  // Whole-run rollups are read AFTER Abandon so end-of-run query_abandoned
+  // events are included (they land past the last phase's delta).
+  if (options.tracer != nullptr) {
+    report.total_trace_events = options.tracer->counts();
+  }
+  if (options.profiler != nullptr) {
+    report.total_profile = options.profiler->Snapshot();
+  }
   report.total_timing.threads = system.threads();
   if (report.total_timing.wall_seconds > 0) {
     double online_weighted = 0;
@@ -380,6 +452,21 @@ ScenarioReport RunScenario(const Scenario& scenario,
         report.total_timing.wall_seconds;
   }
   return report;
+}
+
+}  // namespace
+
+ScenarioReport RunScenario(const Scenario& scenario,
+                           const ScenarioRunnerOptions& options) {
+  try {
+    return RunScenarioTimeline(scenario, options);
+  } catch (...) {
+    // Flight recorder: when any part of the timeline throws, dump the last
+    // N buffered events before propagating (idempotent — the engine may
+    // already have dumped for an engine-level throw).
+    if (options.tracer != nullptr) options.tracer->DumpRing();
+    throw;
+  }
 }
 
 }  // namespace p3q

@@ -13,10 +13,13 @@
 #define P3Q_SCENARIO_RUNNER_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "profile/similarity.h"
 #include "scenario/scenario.h"
 #include "sim/delivery.h"
@@ -56,6 +59,16 @@ struct ScenarioRunnerOptions {
   /// eager/mixed phase (the --arrival-rate / --arrival-sweep CLI flags land
   /// here) — the saturation-sweep knob.
   std::optional<ArrivalSpec> arrivals;
+  /// Optional deterministic event tracer (obs/trace.h): attached to the
+  /// system for the whole run; the runner additionally emits node
+  /// departed/rejoined and dumps the flight-recorder ring when the timeline
+  /// throws. Observation-only — the report stays byte-identical.
+  Tracer* tracer = nullptr;
+  /// Optional wall-clock phase profiler (obs/profiler.h). Observation-only.
+  PhaseProfiler* profiler = nullptr;
+  /// When > 0, prints a stderr heartbeat every this many timeline cycles
+  /// (cycle, open queries, messages in flight). Never touches stdout.
+  std::uint64_t progress_every = 0;
 };
 
 /// Wall-clock throughput of a phase (the only thread-count-dependent part
@@ -104,6 +117,13 @@ struct PhaseReport {
   QueryLatencyStats query_latency;
   std::size_t open_queries_at_end = 0;
   PhaseTiming timing;
+  /// Trace rollup: events accepted during this phase, by kind (all zero
+  /// when the run was not traced). Serialized only with the opt-in timing
+  /// block AND a traced run, so default reports stay byte-stable.
+  Tracer::KindCounts trace_events{};
+  /// Per-engine wall-clock phase breakdown of this phase (empty when the
+  /// run was not profiled). Same opt-in serialization gate.
+  std::map<std::string, PhaseBreakdown> profile;
 };
 
 /// The structured output of one scenario run.
@@ -140,6 +160,14 @@ struct ScenarioReport {
   /// queries still open at the end of the timeline (counted as abandoned).
   QueryLatencyStats total_query_latency;
   PhaseTiming total_timing;
+  /// True when the run had a tracer / profiler attached; gates the trace
+  /// rollup / profile blocks of the serialized report.
+  bool traced = false;
+  bool profiled = false;
+  /// Whole-run trace rollup (includes end-of-run abandon events, which land
+  /// after the last phase's delta closes).
+  Tracer::KindCounts total_trace_events{};
+  std::map<std::string, PhaseBreakdown> total_profile;
 };
 
 /// Runs the scenario at the given scale. Throws std::invalid_argument when

@@ -4,8 +4,26 @@
 
 #include "core/p3q_system.h"
 #include "eval/recall.h"
+#include "obs/trace.h"
 
 namespace p3q {
+namespace {
+
+void TraceQueryEvent(P3QSystem* system, TraceEventKind kind,
+                     std::uint64_t cycle, UserId querier,
+                     std::uint64_t query_id, std::int64_t value) {
+  Tracer* tracer = system->tracer();
+  if (tracer == nullptr) return;
+  TraceEvent event;
+  event.cycle = cycle;
+  event.kind = kind;
+  event.node = querier;
+  event.id = query_id;
+  event.value = value;
+  tracer->Emit(event);
+}
+
+}  // namespace
 
 ServingTracker::ServingTracker(std::uint64_t slo_cycles, double recall_target)
     : slo_cycles_(slo_cycles), recall_target_(recall_target) {}
@@ -22,8 +40,12 @@ void ServingTracker::Track(P3QSystem* system, std::uint64_t query_id,
                            std::uint64_t cycle, std::vector<ItemId> reference,
                            QueryLatencyStats* stats) {
   ++stats->issued;
+  const UserId querier = system->query(query_id).spec().querier;
+  TraceQueryEvent(system, TraceEventKind::kQueryIssued, cycle, querier,
+                  query_id, 0);
   OpenQuery open;
   open.issue_cycle = cycle;
+  open.querier = querier;
   open.reference = std::move(reference);
   // The querier's own stored profiles may already answer the query (the
   // eager mode finalizes immediately when the remaining list is empty, and
@@ -31,6 +53,8 @@ void ServingTracker::Track(P3QSystem* system, std::uint64_t query_id,
   if (system->QueryComplete(query_id) ||
       MeetsRecallTarget(*system, query_id, open)) {
     stats->RecordCompletion(0, slo_cycles_);
+    TraceQueryEvent(system, TraceEventKind::kQueryCompleted, cycle, querier,
+                    query_id, 0);
     system->ForgetQuery(query_id);
     return;
   }
@@ -47,10 +71,15 @@ void ServingTracker::Poll(P3QSystem* system, std::uint64_t cycle,
       open.first_result_recorded = true;
       stats->RecordFirstResult(
           static_cast<std::uint64_t>(query.first_result_cycle()));
+      TraceQueryEvent(system, TraceEventKind::kQueryFirstResult, cycle,
+                      open.querier, query_id, query.first_result_cycle());
     }
     if (system->QueryComplete(query_id) ||
         MeetsRecallTarget(*system, query_id, open)) {
       stats->RecordCompletion(cycle - open.issue_cycle, slo_cycles_);
+      TraceQueryEvent(system, TraceEventKind::kQueryCompleted, cycle,
+                      open.querier, query_id,
+                      static_cast<std::int64_t>(cycle - open.issue_cycle));
       system->ForgetQuery(query_id);
       it = open_.erase(it);
     } else {
@@ -59,9 +88,13 @@ void ServingTracker::Poll(P3QSystem* system, std::uint64_t cycle,
   }
 }
 
-void ServingTracker::Abandon(P3QSystem* system, QueryLatencyStats* stats) {
+void ServingTracker::Abandon(P3QSystem* system, std::uint64_t cycle,
+                             QueryLatencyStats* stats) {
   for (const auto& [query_id, open] : open_) {
     ++stats->abandoned;
+    TraceQueryEvent(system, TraceEventKind::kQueryAbandoned, cycle,
+                    open.querier, query_id,
+                    static_cast<std::int64_t>(cycle - open.issue_cycle));
     system->ForgetQuery(query_id);
   }
   open_.clear();

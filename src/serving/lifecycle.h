@@ -49,9 +49,10 @@ class ServingTracker {
   /// releases completed queries. Deterministic: ascending query-id order.
   void Poll(P3QSystem* system, std::uint64_t cycle, QueryLatencyStats* stats);
 
-  /// End of run: every still-open query is counted as abandoned and
-  /// released.
-  void Abandon(P3QSystem* system, QueryLatencyStats* stats);
+  /// End of run at serving cycle `cycle`: every still-open query is counted
+  /// as abandoned and released.
+  void Abandon(P3QSystem* system, std::uint64_t cycle,
+               QueryLatencyStats* stats);
 
   /// Queries currently in flight.
   std::size_t open() const { return open_.size(); }
@@ -61,6 +62,7 @@ class ServingTracker {
  private:
   struct OpenQuery {
     std::uint64_t issue_cycle = 0;
+    UserId querier = kInvalidUser;
     bool first_result_recorded = false;
     std::vector<ItemId> reference;
   };

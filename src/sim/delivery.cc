@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace p3q {
 namespace {
 
@@ -142,10 +144,32 @@ void DeliveryQueue::EnqueuePending(std::size_t shard, UserId sender,
   pending_[shard].push_back(std::move(message));
 }
 
+void DeliveryQueue::RecordPlannedDrop(std::size_t shard, UserId sender,
+                                      std::uint64_t cycle) {
+  ++pending_drops_[shard];
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.cycle = cycle;
+    event.kind = TraceEventKind::kMessageDropped;
+    event.node = sender;
+    tracer_->EmitShard(shard, event);
+  }
+}
+
 void DeliveryQueue::Fold() {
   for (std::size_t shard = 0; shard < kEngineShards; ++shard) {
     for (InFlight& message : pending_[shard]) {
       message.seq = next_seq_++;
+      if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.cycle = message.send_cycle;
+        event.kind = TraceEventKind::kMessageEnqueued;
+        event.node = message.sender;
+        event.id = message.seq;
+        event.value =
+            static_cast<std::int64_t>(message.due_cycle - message.send_cycle);
+        tracer_->Emit(event);
+      }
       due_[message.due_cycle].push_back(std::move(message));
       ++in_flight_;
       ++stats_.enqueued;
@@ -170,6 +194,15 @@ std::vector<DeliveryQueue::InFlight> DeliveryQueue::TakeDue(
                      });
     for (InFlight& message : bucket) {
       stats_.RecordDelivery(cycle - message.send_cycle);
+      if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.cycle = cycle;
+        event.kind = TraceEventKind::kMessageDelivered;
+        event.node = message.sender;
+        event.id = message.seq;
+        event.value = static_cast<std::int64_t>(cycle - message.send_cycle);
+        tracer_->Emit(event);
+      }
       out.push_back(std::move(message));
     }
     in_flight_ -= bucket.size();

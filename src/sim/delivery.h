@@ -174,8 +174,10 @@ class DeliveryQueue {
                       std::uint64_t send_cycle, std::uint64_t due_cycle,
                       std::unique_ptr<DeliveryMessage> payload);
 
-  /// Plan-phase record of a message the latency model lost at send time.
-  void RecordPlannedDrop(std::size_t shard) { ++pending_drops_[shard]; }
+  /// Plan-phase record of a message the latency model lost at send time
+  /// (traced as message_dropped when a tracer is attached).
+  void RecordPlannedDrop(std::size_t shard, UserId sender,
+                         std::uint64_t cycle);
 
   /// Barrier step: folds every per-shard pending list (in shard order) into
   /// the due buckets, assigning sequence numbers, and folds the pending
@@ -191,6 +193,11 @@ class DeliveryQueue {
 
   const DeliveryStats& stats() const { return stats_; }
 
+  /// Attaches a tracer (obs/trace.h) for wire events: message_dropped at
+  /// send time (shard-buffered), message_enqueued at Fold, message_delivered
+  /// at TakeDue. Null detaches. Set through Engine::SetTracer.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::array<std::vector<InFlight>, kEngineShards> pending_;
   std::array<std::uint64_t, kEngineShards> pending_drops_{};
@@ -198,6 +205,7 @@ class DeliveryQueue {
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;
   DeliveryStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace p3q

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "common/env.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/delivery.h"
 
 namespace p3q {
@@ -125,7 +128,7 @@ void PlanContext::Send(std::unique_ptr<DeliveryMessage> message) const {
     const std::optional<std::uint64_t> d =
         latency->Delay(cycle, node, delivery_rng);
     if (!d.has_value()) {
-      queue->RecordPlannedDrop(shard);
+      queue->RecordPlannedDrop(shard, node, cycle);
       return;
     }
     delay = *d;
@@ -145,10 +148,20 @@ Engine::~Engine() = default;
 void Engine::AddProtocol(CycleProtocol* protocol) {
   protocols_.push_back(protocol);
   queues_.push_back(std::make_unique<DeliveryQueue>());
+  queues_.back()->SetTracer(tracer_);
 }
 
 void Engine::SetLatencyModel(std::shared_ptr<const LatencyModel> model) {
   latency_ = std::move(model);
+}
+
+void Engine::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& queue : queues_) queue->SetTracer(tracer);
+}
+
+void Engine::SetProfiler(PhaseProfiler* profiler, const std::string& label) {
+  profile_ = profiler != nullptr ? profiler->Breakdown(label) : nullptr;
 }
 
 DeliveryStats Engine::DeliveryStatsTotal() const {
@@ -201,11 +214,19 @@ void Engine::RunPlanPhase(std::size_t protocol_index, std::uint64_t tag) {
   // no delivery-stream forks, every message due this cycle.
   const LatencyModel* latency =
       (latency_ != nullptr && !latency_->IsZero()) ? latency_.get() : nullptr;
+  // Per-shard wall-clock is only tracked while profiling; each slot is
+  // written by the one thread that planned the shard, so no synchronization
+  // is needed beyond the pool's barrier.
+  const bool profiled = profile_ != nullptr;
+  if (profiled) shard_plan_seconds_.fill(0.0);
   std::atomic<std::size_t> next_shard{0};
   const std::function<void()> plan_shards = [&]() {
     for (std::size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
          s < kEngineShards;
          s = next_shard.fetch_add(1, std::memory_order_relaxed)) {
+      const auto shard_start = profiled
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
       const auto [first, last] = ShardRange(s);
       PlanContext ctx;
       ctx.cycle = cycle_;
@@ -223,6 +244,12 @@ void Engine::RunPlanPhase(std::size_t protocol_index, std::uint64_t tag) {
         ctx.node = u;
         ctx.rng = &rng;
         protocol->PlanCycle(u, ctx);
+      }
+      if (profiled) {
+        shard_plan_seconds_[s] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          shard_start)
+                .count();
       }
     }
   };
@@ -253,31 +280,77 @@ void Engine::DrainDueMessages(std::size_t protocol_index, std::uint64_t tag) {
   }
 }
 
+void Engine::RunOneCycle() {
+  using Clock = std::chrono::steady_clock;
+  const bool profiled = profile_ != nullptr;
+  SnapshotLiveness();
+  for (std::size_t p = 0; p < protocols_.size(); ++p) {
+    CycleProtocol* protocol = protocols_[p];
+    // Distinct per-protocol salts keep the streams of co-registered
+    // protocols decorrelated.
+    const std::uint64_t tag = static_cast<std::uint64_t>(p) << 32;
+    protocol->BeginCycle(cycle_);
+    const auto t0 = profiled ? Clock::now() : Clock::time_point();
+    RunPlanPhase(p, tag);
+    const auto t1 = profiled ? Clock::now() : Clock::time_point();
+    protocol->EndPlan(cycle_);
+    // The trace fold sits at the same barrier as the mailbox merges and the
+    // queue fold, so the accept order is (shard, emit order) — independent
+    // of the thread count, like every other folded structure.
+    if (tracer_ != nullptr) tracer_->FoldShards();
+    queues_[p]->Fold();
+    const auto t2 = profiled ? Clock::now() : Clock::time_point();
+    if (protocol->UsesPerNodeCommit()) {
+      for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
+        if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
+        Rng rng = ForkStream(seed_, cycle_, u, kCommitSalt ^ tag);
+        protocol->CommitCycle(u, cycle_, &rng);
+      }
+    }
+    const auto t3 = profiled ? Clock::now() : Clock::time_point();
+    DrainDueMessages(p, tag);
+    const auto t4 = profiled ? Clock::now() : Clock::time_point();
+    Rng end_rng = ForkStream(seed_, cycle_, 0, kCycleSalt ^ tag);
+    protocol->EndCycle(cycle_, &end_rng);
+    if (profiled) {
+      const auto t5 = Clock::now();
+      double shard_max = 0.0;
+      double shard_sum = 0.0;
+      std::uint64_t active_shards = 0;
+      for (std::size_t s = 0; s < kEngineShards; ++s) {
+        const auto [first, last] = ShardRange(s);
+        if (first >= last) continue;
+        ++active_shards;
+        shard_max = std::max(shard_max, shard_plan_seconds_[s]);
+        shard_sum += shard_plan_seconds_[s];
+      }
+      const auto sec = [](Clock::time_point from, Clock::time_point to) {
+        return std::chrono::duration<double>(to - from).count();
+      };
+      profile_->AddCycle(sec(t0, t1), sec(t1, t2), sec(t2, t3), sec(t3, t4),
+                         sec(t4, t5), shard_max, shard_sum, active_shards);
+    }
+  }
+  for (auto& observer : observers_) observer(cycle_);
+  ++cycle_;
+}
+
 void Engine::RunCycles(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
-    SnapshotLiveness();
-    for (std::size_t p = 0; p < protocols_.size(); ++p) {
-      CycleProtocol* protocol = protocols_[p];
-      // Distinct per-protocol salts keep the streams of co-registered
-      // protocols decorrelated.
-      const std::uint64_t tag = static_cast<std::uint64_t>(p) << 32;
-      protocol->BeginCycle(cycle_);
-      RunPlanPhase(p, tag);
-      protocol->EndPlan(cycle_);
-      queues_[p]->Fold();
-      if (protocol->UsesPerNodeCommit()) {
-        for (UserId u = 0; u < static_cast<UserId>(num_nodes_); ++u) {
-          if (!alive_[u] || !protocol->ActiveInCycle(u)) continue;
-          Rng rng = ForkStream(seed_, cycle_, u, kCommitSalt ^ tag);
-          protocol->CommitCycle(u, cycle_, &rng);
-        }
-      }
-      DrainDueMessages(p, tag);
-      Rng end_rng = ForkStream(seed_, cycle_, 0, kCycleSalt ^ tag);
-      protocol->EndCycle(cycle_, &end_rng);
+    if (tracer_ == nullptr) {
+      RunOneCycle();
+      continue;
     }
-    for (auto& observer : observers_) observer(cycle_);
-    ++cycle_;
+    try {
+      RunOneCycle();
+    } catch (...) {
+      // Flight recorder: fold whatever the plan threads had buffered (best
+      // effort — the cycle was cut short, so the tail may be partial) and
+      // dump the ring so the last events before the failure survive.
+      tracer_->FoldShards();
+      tracer_->DumpRing();
+      throw;
+    }
   }
 }
 

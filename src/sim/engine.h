@@ -48,9 +48,11 @@
 #ifndef P3Q_SIM_ENGINE_H_
 #define P3Q_SIM_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -60,9 +62,12 @@
 
 namespace p3q {
 
-class PlanWorkerPool;  // persistent plan-phase workers (engine.cc)
-class DeliveryQueue;   // timestamped in-flight messages (sim/delivery.h)
-class LatencyModel;    // pluggable delay/loss policy (sim/delivery.h)
+class PlanWorkerPool;   // persistent plan-phase workers (engine.cc)
+class DeliveryQueue;    // timestamped in-flight messages (sim/delivery.h)
+class LatencyModel;     // pluggable delay/loss policy (sim/delivery.h)
+class Tracer;           // deterministic event tracing (obs/trace.h)
+class PhaseProfiler;    // wall-clock phase profiling (obs/profiler.h)
+struct PhaseBreakdown;  // one engine's profile slot (obs/profiler.h)
 
 /// Base of every self-contained planned effect a protocol sends through the
 /// delivery layer; protocols derive their own payload types and downcast in
@@ -214,6 +219,20 @@ class Engine {
   void SetLatencyModel(std::shared_ptr<const LatencyModel> model);
   const LatencyModel* latency_model() const { return latency_.get(); }
 
+  /// Attaches a deterministic event tracer (obs/trace.h): the engine folds
+  /// its per-shard plan buffers at every cycle barrier (so traces are
+  /// thread-count independent) and propagates it to every protocol's
+  /// DeliveryQueue for wire events. Null detaches. The tracer must outlive
+  /// the engine's remaining RunCycles calls.
+  void SetTracer(Tracer* tracer);
+  Tracer* tracer() const { return tracer_; }
+
+  /// Attaches a wall-clock phase profiler (obs/profiler.h): every cycle's
+  /// plan/barrier/commit/drain/EndCycle sections and per-shard plan times
+  /// are accumulated under `label`. Null detaches. Profiling never touches
+  /// deterministic state — reports stay byte-stable.
+  void SetProfiler(PhaseProfiler* profiler, const std::string& label);
+
   /// Merged delivery counters over every protocol's queue.
   DeliveryStats DeliveryStatsTotal() const;
 
@@ -256,6 +275,7 @@ class Engine {
   void SnapshotLiveness();
   void RunPlanPhase(std::size_t protocol_index, std::uint64_t tag);
   void DrainDueMessages(std::size_t protocol_index, std::uint64_t tag);
+  void RunOneCycle();
 
   std::vector<CycleProtocol*> protocols_;
   /// One in-flight message queue per registered protocol (same index).
@@ -268,6 +288,13 @@ class Engine {
   int threads_ = 1;
   std::uint64_t cycle_ = 0;
   std::vector<char> alive_;  ///< per-cycle liveness snapshot
+  Tracer* tracer_ = nullptr;
+  /// Stable slot inside the attached profiler; null when not profiling.
+  PhaseBreakdown* profile_ = nullptr;
+  /// Per-shard plan wall-clock of the current cycle; each slot is written
+  /// only by the thread that planned that shard (the mailbox discipline),
+  /// read sequentially after the barrier. Only maintained while profiling.
+  std::array<double, kEngineShards> shard_plan_seconds_{};
   /// Persistent plan-phase workers; created lazily on the first parallel
   /// plan phase (so drivers issuing RunCycles(1) per timeline event don't
   /// respawn threads every cycle) and reset when SetThreads resizes.

@@ -98,13 +98,14 @@ void DeliveryStats::MergeFrom(const DeliveryStats& other) {
 
 DeliveryStats DeliveryStats::Since(const DeliveryStats& earlier) const {
   DeliveryStats delta;
-  delta.enqueued = enqueued - earlier.enqueued;
-  delta.dropped = dropped - earlier.dropped;
-  delta.delivered = delivered - earlier.delivered;
-  delta.stale_dropped = stale_dropped - earlier.stale_dropped;
+  delta.enqueued = MonotoneDelta(enqueued, earlier.enqueued);
+  delta.dropped = MonotoneDelta(dropped, earlier.dropped);
+  delta.delivered = MonotoneDelta(delivered, earlier.delivered);
+  delta.stale_dropped = MonotoneDelta(stale_dropped, earlier.stale_dropped);
   delta.max_in_flight = max_in_flight;
   for (std::size_t i = 0; i < kDeliveryLagBuckets; ++i) {
-    delta.lag_histogram[i] = lag_histogram[i] - earlier.lag_histogram[i];
+    delta.lag_histogram[i] =
+        MonotoneDelta(lag_histogram[i], earlier.lag_histogram[i]);
   }
   return delta;
 }
@@ -134,17 +135,17 @@ void QueryLatencyStats::MergeFrom(const QueryLatencyStats& other) {
 QueryLatencyStats QueryLatencyStats::Since(
     const QueryLatencyStats& earlier) const {
   QueryLatencyStats delta;
-  delta.issued = issued - earlier.issued;
-  delta.completed = completed - earlier.completed;
+  delta.issued = MonotoneDelta(issued, earlier.issued);
+  delta.completed = MonotoneDelta(completed, earlier.completed);
   delta.completed_within_slo =
-      completed_within_slo - earlier.completed_within_slo;
-  delta.first_results = first_results - earlier.first_results;
-  delta.abandoned = abandoned - earlier.abandoned;
+      MonotoneDelta(completed_within_slo, earlier.completed_within_slo);
+  delta.first_results = MonotoneDelta(first_results, earlier.first_results);
+  delta.abandoned = MonotoneDelta(abandoned, earlier.abandoned);
   for (std::size_t i = 0; i < kQueryLatencyBuckets; ++i) {
-    delta.completion_histogram[i] =
-        completion_histogram[i] - earlier.completion_histogram[i];
-    delta.first_result_histogram[i] =
-        first_result_histogram[i] - earlier.first_result_histogram[i];
+    delta.completion_histogram[i] = MonotoneDelta(
+        completion_histogram[i], earlier.completion_histogram[i]);
+    delta.first_result_histogram[i] = MonotoneDelta(
+        first_result_histogram[i], earlier.first_result_histogram[i]);
   }
   return delta;
 }

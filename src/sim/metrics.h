@@ -9,11 +9,22 @@
 #define P3Q_SIM_METRICS_H_
 
 #include <array>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
 namespace p3q {
+
+/// `now - earlier` for monotone counters. Every Since/operator- delta in
+/// this file goes through here: a misordered snapshot (subtracting a LATER
+/// snapshot from an earlier one) would otherwise silently wrap to ~2^64.
+/// Asserts the ordering in debug builds; clamps to zero in release.
+inline std::uint64_t MonotoneDelta(std::uint64_t now, std::uint64_t earlier) {
+  assert(now >= earlier &&
+         "monotone counter delta: 'earlier' snapshot is newer than 'now'");
+  return now >= earlier ? now - earlier : 0;
+}
 
 /// Every kind of message P3Q puts on the wire.
 enum class MessageType : int {
@@ -41,7 +52,8 @@ struct MessageStats {
     bytes += b;
   }
   MessageStats operator-(const MessageStats& other) const {
-    return MessageStats{messages - other.messages, bytes - other.bytes};
+    return MessageStats{MonotoneDelta(messages, other.messages),
+                        MonotoneDelta(bytes, other.bytes)};
   }
 };
 

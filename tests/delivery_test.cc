@@ -180,8 +180,8 @@ TEST(DeliveryQueueTest, FoldAssignsSeqInShardOrderAndCountsDrops) {
                    std::make_unique<TestPayload>(0));
   q.EnqueuePending(/*shard=*/1, /*sender=*/10, 0, 0,
                    std::make_unique<TestPayload>(0));
-  q.RecordPlannedDrop(/*shard=*/2);
-  q.RecordPlannedDrop(/*shard=*/2);
+  q.RecordPlannedDrop(/*shard=*/2, /*sender=*/20, /*cycle=*/0);
+  q.RecordPlannedDrop(/*shard=*/2, /*sender=*/20, /*cycle=*/0);
   q.Fold();
   EXPECT_EQ(q.stats().dropped, 2u);
   const auto due = q.TakeDue(0);

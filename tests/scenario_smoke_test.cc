@@ -259,6 +259,79 @@ TEST(P3qSimScenarioCli, ArrivalRateRunEmitsDeterministicQueryLatency) {
   std::remove(path_b.c_str());
 }
 
+TEST(P3qSimScenarioCli, TraceIsByteIdenticalAcrossThreadsAndObservationOnly) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace1 = dir + "/p3q_trace_t1.jsonl";
+  const std::string trace2 = dir + "/p3q_trace_t2.jsonl";
+  const std::string trace8 = dir + "/p3q_trace_t8.jsonl";
+  const std::string plain_json = dir + "/p3q_trace_plain.json";
+  const std::string traced_json = dir + "/p3q_trace_traced.json";
+  const std::string args =
+      "--scenario=steady-state --users=60 --cycle-scale=0.2 --seed=5 ";
+  ASSERT_EQ(RunCli(args + "--threads=1 --trace=\"" + trace1 + "\" --json=\"" +
+                   traced_json + "\""),
+            0);
+  ASSERT_EQ(RunCli(args + "--threads=2 --trace=\"" + trace2 + "\""), 0);
+  ASSERT_EQ(RunCli(args + "--threads=8 --trace=\"" + trace8 + "\""), 0);
+  ASSERT_EQ(RunCli(args + "--threads=4 --json=\"" + plain_json + "\""), 0);
+
+  const std::string trace = ReadFileOrEmpty(trace1);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("{\"seq\":0,", 0), 0u);
+  EXPECT_NE(trace.find("\"kind\":\"gossip_planned\""), std::string::npos);
+  EXPECT_EQ(trace, ReadFileOrEmpty(trace2))
+      << "traces must not depend on the thread count";
+  EXPECT_EQ(trace, ReadFileOrEmpty(trace8));
+  // Tracing is observation-only: the default report of a traced run equals
+  // an untraced run's byte for byte.
+  const std::string plain = ReadFileOrEmpty(plain_json);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, ReadFileOrEmpty(traced_json));
+
+  std::remove(trace1.c_str());
+  std::remove(trace2.c_str());
+  std::remove(trace8.c_str());
+  std::remove(plain_json.c_str());
+  std::remove(traced_json.c_str());
+}
+
+TEST(P3qSimScenarioCli, ObservabilityFlagsAreValidated) {
+  EXPECT_NE(RunCli("--trace-format=xml"), 0);
+  EXPECT_NE(RunCli("--trace-filter=query_issued"), 0);  // needs --trace
+  EXPECT_NE(RunCli("--trace-ring=100"), 0);             // needs --trace
+  EXPECT_NE(RunCli("--scenario=steady-state --trace=/tmp/t.jsonl "
+                   "--trace-filter=no_such_kind"),
+            0);
+  EXPECT_NE(RunCli("--scenario=steady-state --trace-nodes=1,2x"), 0);
+  EXPECT_NE(RunCli("--progress=10"), 0);  // scenario mode only
+  EXPECT_NE(RunCli("--scenario=open-loop-saturation --arrival-sweep=1:2:1 "
+                   "--trace=/tmp/t.jsonl"),
+            0);
+}
+
+TEST(P3qSimScenarioCli, ChromeTraceAndProfileAreWellFormed) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace = dir + "/p3q_chrome.json";
+  const std::string profile = dir + "/p3q_profile.json";
+  ASSERT_EQ(RunCli("--scenario=steady-state --users=60 --cycle-scale=0.2 "
+                   "--seed=5 --trace=\"" +
+                   trace + "\" --trace-format=chrome --profile=\"" + profile +
+                   "\""),
+            0);
+  const std::string chrome = ReadFileOrEmpty(trace);
+  ASSERT_FALSE(chrome.empty());
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(chrome.substr(chrome.size() - 4), "\n]}\n");
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);
+  const std::string prof = ReadFileOrEmpty(profile);
+  ASSERT_FALSE(prof.empty());
+  EXPECT_NE(prof.find("\"engines\""), std::string::npos);
+  EXPECT_NE(prof.find("\"plan_seconds\""), std::string::npos);
+  EXPECT_NE(prof.find("\"mean_imbalance\""), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(profile.c_str());
+}
+
 TEST(P3qSimScenarioCli, ArrivalSweepWritesTheSweepReport) {
   const std::string dir = ::testing::TempDir();
   const std::string path = dir + "/p3q_sweep.json";

@@ -1,4 +1,7 @@
 // Unit tests for sim/: metrics accounting, network liveness, cycle engine.
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -38,10 +41,50 @@ TEST(MetricsTest, ResetZeroes) {
   EXPECT_EQ(m.TotalMessages(), 0u);
 }
 
-TEST(MetricsTest, AllTypesHaveNames) {
+TEST(MetricsTest, AllTypesHaveDistinctNames) {
+  // Every real enum value must map to its own non-empty name; a MessageType
+  // added without one would fall through to "unknown" (or shadow another
+  // type's name) and silently corrupt report columns.
+  std::vector<std::string> names;
   for (int i = 0; i < static_cast<int>(MessageType::kCount); ++i) {
-    EXPECT_STRNE(MessageTypeName(static_cast<MessageType>(i)), "unknown");
+    const char* name = MessageTypeName(static_cast<MessageType>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+    EXPECT_STRNE(name, "unknown");
+    for (const std::string& seen : names) {
+      EXPECT_NE(seen, name) << "duplicate MessageType name";
+    }
+    names.push_back(name);
   }
+}
+
+TEST(MetricsTest, MisorderedSinceClampsInsteadOfWrapping) {
+  // Regression: subtracting a LATER snapshot from an earlier one used to
+  // wrap the unsigned counters to ~2^64. MonotoneDelta asserts the ordering
+  // in debug builds and clamps to zero in release builds.
+  Metrics m;
+  m.Record(MessageType::kRandomViewGossip, 10);
+  const Metrics earlier = m.Snapshot();
+  m.Record(MessageType::kRandomViewGossip, 25);
+#ifdef NDEBUG
+  const Metrics misordered = earlier.Since(m);
+  EXPECT_EQ(misordered.Of(MessageType::kRandomViewGossip).messages, 0u);
+  EXPECT_EQ(misordered.Of(MessageType::kRandomViewGossip).bytes, 0u);
+
+  DeliveryStats delivery_now;
+  delivery_now.enqueued = 5;
+  DeliveryStats delivery_later = delivery_now;
+  delivery_later.enqueued = 9;
+  EXPECT_EQ(delivery_now.Since(delivery_later).enqueued, 0u);
+
+  QueryLatencyStats query_now;
+  query_now.issued = 3;
+  QueryLatencyStats query_later = query_now;
+  query_later.issued = 7;
+  EXPECT_EQ(query_now.Since(query_later).issued, 0u);
+#else
+  EXPECT_DEATH(earlier.Since(m), "monotone counter delta");
+#endif
 }
 
 TEST(NetworkTest, LivenessBookkeeping) {

@@ -6,7 +6,7 @@
 //
 //   p3q_sim --users=2000 --c=10 --lazy-cycles=150 --queries=50
 //   p3q_sim --users=800 --lambda=1 --departure=0.5 --queries=100
-//   p3q_sim --trace=delicious.tsv --s=1000 --c=20 --alpha=0.3
+//   p3q_sim --input-trace=delicious.tsv --s=1000 --c=20 --alpha=0.3
 //
 // Declarative timeline-driven workloads (the scenario engine):
 //
@@ -24,14 +24,23 @@
 //
 //   p3q_sim --scenario=open-loop-steady --arrival-rate=2 --json=out.json
 //   p3q_sim --scenario=open-loop-saturation --arrival-sweep=1:8:1
+//
+// Observability (deterministic event traces and wall-clock profiles):
+//
+//   p3q_sim --scenario=diurnal --trace=events.jsonl
+//   p3q_sim --scenario=diurnal --trace=trace.json --trace-format=chrome
+//   p3q_sim --scenario=mixed-stress --trace=q.jsonl --trace-filter=query_issued,query_completed
+//   p3q_sim --scenario=steady-state --profile=profile.json --progress=200
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "baseline/centralized_topk.h"
 #include "baseline/ideal_network.h"
@@ -44,6 +53,8 @@
 #include "dataset/trace_loader.h"
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "scenario/registry.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
@@ -88,13 +99,21 @@ struct Options {
   // Open-loop serving.
   std::optional<double> arrival_rate;
   std::optional<SweepSpec> arrival_sweep;
+  // Observability.
+  std::string trace_out;                   // --trace=FILE (event trace)
+  std::string trace_format = "jsonl";      // jsonl | chrome
+  std::uint32_t trace_mask = 0;            // 0 = every kind
+  std::vector<p3q::UserId> trace_nodes;    // empty = every node
+  int trace_ring = 0;                      // 0 = stream every event
+  std::string profile_path;                // --profile=FILE
+  std::uint64_t progress_every = 0;        // 0 = no heartbeat
 };
 
 void PrintUsage() {
   std::cout <<
       "p3q_sim — run a P3Q simulation\n\n"
       "  --users=N          population size for the synthetic trace (1000)\n"
-      "  --trace=PATH       load a real user<TAB>item<TAB>tag trace instead\n"
+      "  --input-trace=PATH load a real user<TAB>item<TAB>tag trace instead\n"
       "  --s=N              personal network size (users/10)\n"
       "  --c=N              stored profiles per user (10)\n"
       "  --lambda=X         heterogeneous storage, truncated Poisson(X)\n"
@@ -140,7 +159,29 @@ void PrintUsage() {
       "                     saturation sweep: run the scenario once per\n"
       "                     rate in [LO, HI] and print latency percentiles\n"
       "                     and goodput per rate (--json writes the sweep\n"
-      "                     as a JSON array)\n";
+      "                     as a JSON array)\n"
+      "\nObservability (deterministic traces and wall-clock profiles):\n"
+      "  --trace=FILE       write a deterministic, cycle-stamped event trace\n"
+      "                     (gossip, delivery, query lifecycle, liveness);\n"
+      "                     byte-identical for every --threads value\n"
+      "  --trace-format=F   trace format: jsonl (default, one JSON object\n"
+      "                     per line) or chrome (trace_event JSON; load in\n"
+      "                     Perfetto or chrome://tracing)\n"
+      "  --trace-filter=KINDS\n"
+      "                     comma-separated event kinds to keep (default:\n"
+      "                     all), e.g. query_issued,query_completed\n"
+      "  --trace-nodes=IDS  comma-separated node ids: keep only events whose\n"
+      "                     node or peer is listed (default: all nodes)\n"
+      "  --trace-ring=N     flight-recorder mode: keep only the last N\n"
+      "                     accepted events and dump them at exit or when an\n"
+      "                     invariant throws (default: stream everything)\n"
+      "  --profile=FILE     write per-engine wall-clock phase breakdowns\n"
+      "                     (plan/barrier/commit/drain/EndCycle seconds and\n"
+      "                     per-shard plan imbalance) as JSON\n"
+      "  --progress[=K]     scenario mode: print a stderr heartbeat every K\n"
+      "                     timeline cycles (default K=100) with the cycle,\n"
+      "                     open queries and messages in flight; stdout\n"
+      "                     reports are untouched\n";
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -218,7 +259,7 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.help = true;
     } else if (ParseFlag(argv[i], "--users", &value)) {
       if (!ParseIntFlag("--users", value, &opt.users)) return std::nullopt;
-    } else if (ParseFlag(argv[i], "--trace", &value)) {
+    } else if (ParseFlag(argv[i], "--input-trace", &value)) {
       opt.trace_path = value;
     } else if (ParseFlag(argv[i], "--s", &value)) {
       if (!ParseIntFlag("--s", value, &opt.network_size)) return std::nullopt;
@@ -292,6 +333,45 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.csv_path = value;
     } else if (ParseFlag(argv[i], "--timing", &value)) {
       opt.timing = true;
+    } else if (ParseFlag(argv[i], "--trace-format", &value)) {
+      opt.trace_format = value;
+    } else if (ParseFlag(argv[i], "--trace-filter", &value)) {
+      if (const std::string problem =
+              p3q::ParseTraceKindMask(value, &opt.trace_mask);
+          !problem.empty()) {
+        std::cerr << "--trace-filter: " << problem << "\n";
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--trace-nodes", &value)) {
+      std::stringstream ss(value);
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        std::uint64_t id = 0;
+        if (!p3q::ParseStrictUint64(token, &id)) {
+          std::cerr << "--trace-nodes: cannot parse '" << token
+                    << "' as a node id\n";
+          return std::nullopt;
+        }
+        opt.trace_nodes.push_back(static_cast<p3q::UserId>(id));
+      }
+      if (opt.trace_nodes.empty()) {
+        std::cerr << "--trace-nodes: expected a comma-separated id list\n";
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--trace-ring", &value)) {
+      if (!ParseIntFlag("--trace-ring", value, &opt.trace_ring)) {
+        return std::nullopt;
+      }
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      opt.trace_out = value;
+    } else if (ParseFlag(argv[i], "--profile", &value)) {
+      opt.profile_path = value;
+    } else if (ParseFlag(argv[i], "--progress", &value)) {
+      opt.progress_every = 100;  // bare --progress: a sensible default K
+      if (!value.empty() &&
+          !ParseUint64Flag("--progress", value, &opt.progress_every)) {
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown flag: " << argv[i] << "\n";
       return std::nullopt;
@@ -374,6 +454,32 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
     std::cerr << "--arrival-rate must be >= 0\n";
     return std::nullopt;
   }
+  if (opt.trace_format != "jsonl" && opt.trace_format != "chrome") {
+    std::cerr << "--trace-format must be jsonl or chrome, got '"
+              << opt.trace_format << "'\n";
+    return std::nullopt;
+  }
+  if (opt.trace_out.empty() &&
+      (opt.trace_mask != 0 || !opt.trace_nodes.empty() ||
+       opt.trace_ring != 0)) {
+    std::cerr << "--trace-filter/--trace-nodes/--trace-ring require "
+                 "--trace=FILE\n";
+    return std::nullopt;
+  }
+  if (opt.trace_ring < 0) {
+    std::cerr << "--trace-ring must be >= 0\n";
+    return std::nullopt;
+  }
+  if ((!opt.trace_out.empty() || !opt.profile_path.empty()) &&
+      opt.arrival_sweep.has_value()) {
+    std::cerr << "--trace/--profile cover a single run; they cannot be "
+                 "combined with --arrival-sweep\n";
+    return std::nullopt;
+  }
+  if (opt.progress_every > 0 && opt.scenario.empty()) {
+    std::cerr << "--progress requires --scenario=NAME\n";
+    return std::nullopt;
+  }
   return opt;
 }
 
@@ -401,13 +507,86 @@ p3q::ScenarioRunnerOptions MakeRunnerOptions(const Options& opt) {
   options.similarity = opt.similarity;
   options.threads = opt.threads;
   options.latency = opt.latency;  // unset = the scenario's own model
+  options.progress_every = opt.progress_every;
   return options;
+}
+
+/// One run's observability attachments: the trace file/sink/tracer chain
+/// and the profiler, built from the --trace*/--profile flags. Either half
+/// may be absent.
+struct ObsSession {
+  std::ofstream trace_stream;
+  std::unique_ptr<p3q::TraceSink> sink;
+  std::unique_ptr<p3q::Tracer> tracer;
+  std::unique_ptr<p3q::PhaseProfiler> profiler;
+};
+
+/// Opens the trace file and builds the tracer/profiler the flags ask for.
+/// Returns false (with a stderr message) when the trace file cannot be
+/// opened.
+bool OpenObsSession(const Options& opt, ObsSession* obs) {
+  if (!opt.trace_out.empty()) {
+    obs->trace_stream.open(opt.trace_out,
+                           std::ios::binary | std::ios::trunc);
+    if (!obs->trace_stream) {
+      std::cerr << "cannot open trace file: " << opt.trace_out << "\n";
+      return false;
+    }
+    if (opt.trace_format == "chrome") {
+      obs->sink = std::make_unique<p3q::ChromeTraceSink>(&obs->trace_stream);
+    } else {
+      obs->sink = std::make_unique<p3q::JsonlTraceSink>(&obs->trace_stream);
+    }
+    obs->tracer = std::make_unique<p3q::Tracer>(obs->sink.get());
+    if (opt.trace_mask != 0) obs->tracer->SetKindMask(opt.trace_mask);
+    if (!opt.trace_nodes.empty()) {
+      obs->tracer->SetNodeFilter(opt.trace_nodes);
+    }
+    if (opt.trace_ring > 0) {
+      obs->tracer->SetRingCapacity(static_cast<std::size_t>(opt.trace_ring));
+    }
+  }
+  if (!opt.profile_path.empty()) {
+    obs->profiler = std::make_unique<p3q::PhaseProfiler>();
+  }
+  return true;
+}
+
+/// Normal-exit teardown: dumps the flight-recorder ring (ring mode) or
+/// closes the sink framing (stream mode), and writes the profile JSON.
+/// Returns false on I/O failure.
+bool CloseObsSession(const Options& opt, ObsSession* obs) {
+  if (obs->tracer != nullptr) {
+    obs->tracer->DumpRing();  // no-op unless in ring mode
+    obs->tracer->Finish();    // no-op in ring mode
+    obs->trace_stream.flush();
+    if (!obs->trace_stream) {
+      std::cerr << "cannot write trace file: " << opt.trace_out << "\n";
+      return false;
+    }
+    std::cout << "trace: " << opt.trace_out << " ("
+              << obs->tracer->accepted() << " events)\n";
+  }
+  if (obs->profiler != nullptr) {
+    std::ofstream out(opt.profile_path, std::ios::binary | std::ios::trunc);
+    if (!(out << p3q::PhaseProfilerToJson(*obs->profiler))) {
+      std::cerr << "cannot write profile file: " << opt.profile_path << "\n";
+      return false;
+    }
+    std::cout << "profile: " << opt.profile_path << "\n";
+  }
+  return true;
 }
 
 /// Runs a named scenario timeline and prints/writes its report.
 int RunScenarioMode(const Options& opt) {
   using namespace p3q;
   ScenarioRunnerOptions options = MakeRunnerOptions(opt);
+
+  ObsSession obs;
+  if (!OpenObsSession(opt, &obs)) return 1;
+  options.tracer = obs.tracer.get();
+  options.profiler = obs.profiler.get();
 
   const Scenario scenario = MakeScenario(opt.scenario);
   if (opt.arrival_rate.has_value()) {
@@ -506,6 +685,7 @@ int RunScenarioMode(const Options& opt) {
   if (!opt.csv_path.empty()) {
     std::cout << "CSV report: " << opt.csv_path << "\n";
   }
+  if (!CloseObsSession(opt, &obs)) return 1;
   return 0;
 }
 
@@ -691,6 +871,10 @@ int main(int argc, char** argv) {
     system.SetLatency(*opt.latency);
     std::cout << "latency model: " << opt.latency->Name() << "\n";
   }
+  ObsSession obs;
+  if (!OpenObsSession(opt, &obs)) return 1;
+  if (obs.tracer != nullptr) system.SetTracer(obs.tracer.get());
+  if (obs.profiler != nullptr) system.SetProfiler(obs.profiler.get());
   system.BootstrapRandomViews();
 
   // --- lazy convergence ---
@@ -774,5 +958,6 @@ int main(int argc, char** argv) {
       {"eager messages", TablePrinter::Fmt(eager.TotalMessages())});
   std::cout << "\n";
   summary.Print(std::cout);
+  if (!CloseObsSession(opt, &obs)) return 1;
   return 0;
 }
