@@ -5,7 +5,9 @@ Runs the steady-state and lagged-steady scenarios with --timing, measures
 cycles-to-convergence with and without delivery latency, runs the
 bench_micro_similarity scoring benchmark (scalar vs batched kernel
 pairs/sec), runs the open-loop-steady serving scenario (query-latency
-p50/p95/p99 and queries/sec completed within the SLO), and emits:
+p50/p95/p99 and queries/sec completed within the SLO), measures the
+checkpoint/resume leg (snapshot size, save/resume wall time, and a hard
+byte-identity check of straight vs checkpoint+resume reports), and emits:
 
   * BENCH_pr.json        — the run's structured perf snapshot (scenario
                            wall-clock/throughput, engine phase timings with
@@ -34,9 +36,11 @@ import csv
 import json
 import os
 import re
+import shutil
 import subprocess
 import sys
 import tempfile
+import time
 
 SCENARIOS = ["steady-state", "lagged-steady"]
 CONVERGENCE_MODELS = ["zero", "fixed:2"]
@@ -189,6 +193,58 @@ def measure_serving(sim, users, seed):
     }
 
 
+def measure_checkpoint(sim, users, seed):
+    """Checkpoint/resume leg: snapshot size and save/resume wall time.
+
+    Size and wall-clock are recorded for the trajectory, never gated (they
+    depend on the runner). The byte-identity of the straight-through vs the
+    checkpoint-at-K + resume JSON report IS enforced — that is a
+    correctness property, not a perf number.
+    """
+    name = "diurnal"
+    checkpoint_at = 20
+    tmpdir = tempfile.mkdtemp()
+    straight_json = os.path.join(tmpdir, "straight.json")
+    resumed_json = os.path.join(tmpdir, "resumed.json")
+    ckpt = os.path.join(tmpdir, "run.ckpt")
+    base = [f"--scenario={name}", f"--users={users}", f"--seed={seed}"]
+    try:
+        start = time.monotonic()
+        run_sim(sim, base + [f"--json={straight_json}"])
+        straight_seconds = time.monotonic() - start
+
+        start = time.monotonic()
+        run_sim(sim, base + [f"--checkpoint-at={checkpoint_at}",
+                             f"--checkpoint={ckpt}"])
+        save_run_seconds = time.monotonic() - start
+        snapshot_bytes = os.path.getsize(ckpt)
+
+        start = time.monotonic()
+        run_sim(sim, [f"--resume={ckpt}", f"--json={resumed_json}"])
+        resume_run_seconds = time.monotonic() - start
+
+        with open(straight_json, "rb") as f:
+            straight = f.read()
+        with open(resumed_json, "rb") as f:
+            resumed = f.read()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    if straight != resumed:
+        sys.stderr.write(
+            f"checkpoint/resume report diverged from the straight-through "
+            f"run ({name}, K={checkpoint_at})\n")
+        sys.exit(2)
+    return {
+        "scenario": name,
+        "checkpoint_at": checkpoint_at,
+        "snapshot_bytes": snapshot_bytes,
+        "straight_run_seconds": straight_seconds,
+        "save_run_seconds": save_run_seconds,
+        "resume_run_seconds": resume_run_seconds,
+        "byte_identical": True,
+    }
+
+
 def measure_convergence(sim, model, users, seed, target, budget):
     """cycles_to_convergence for one latency model (deterministic)."""
     args = [f"--users={users}", f"--seed={seed}", f"--converge={target}",
@@ -211,7 +267,8 @@ def append_trajectory(path, sha, bench):
               "pairs_per_sec_batched", "kernel_speedup", "ql_p50", "ql_p95",
               "ql_p99", "slo_queries_per_sec", "plan_seconds",
               "barrier_seconds", "commit_seconds", "shard_imbalance_mean",
-              "shard_imbalance_max"]
+              "shard_imbalance_max", "ckpt_bytes", "ckpt_save_seconds",
+              "ckpt_resume_seconds"]
     new_file = not os.path.exists(path) or os.path.getsize(path) == 0
     with open(path, "a", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fields)
@@ -255,6 +312,16 @@ def append_trajectory(path, sha, bench):
                 "ql_p95": serving["latency_p95"],
                 "ql_p99": serving["latency_p99"],
                 "slo_queries_per_sec": serving["slo_queries_per_sec"],
+            })
+        checkpoint = bench.get("checkpoint")
+        if checkpoint is not None:
+            writer.writerow({
+                "git_sha": sha, "kind": "checkpoint",
+                "name": checkpoint["scenario"],
+                "users": bench["users"], "seed": bench["seed"],
+                "ckpt_bytes": checkpoint["snapshot_bytes"],
+                "ckpt_save_seconds": checkpoint["save_run_seconds"],
+                "ckpt_resume_seconds": checkpoint["resume_run_seconds"],
             })
         for model, cycles in bench["convergence"].items():
             writer.writerow({
@@ -304,6 +371,8 @@ def main():
     bench["similarity_kernel"] = measure_similarity_kernel(args.bench)
     print(f"running open-loop serving at {users} users ...", flush=True)
     bench["serving"] = measure_serving(args.sim, users, seed)
+    print(f"measuring checkpoint/resume at {users} users ...", flush=True)
+    bench["checkpoint"] = measure_checkpoint(args.sim, users, seed)
     for model in CONVERGENCE_MODELS:
         print(f"measuring cycles-to-convergence under {model} ...", flush=True)
         bench["convergence"][model] = measure_convergence(
@@ -326,6 +395,13 @@ def main():
           f"{serving['latency_p99']:.1f} cycles, "
           f"{serving['slo_queries_per_sec']:,.1f} queries/s within the "
           f"{serving['slo_cycles']}-cycle SLO — recorded, not gated")
+    checkpoint = bench["checkpoint"]
+    print(f"checkpoint ({checkpoint['scenario']} at K="
+          f"{checkpoint['checkpoint_at']}): snapshot "
+          f"{checkpoint['snapshot_bytes']:,} bytes, save run "
+          f"{checkpoint['save_run_seconds']:.2f} s, resume run "
+          f"{checkpoint['resume_run_seconds']:.2f} s, reports byte-identical "
+          f"— size/time recorded, not gated")
 
     if args.write_baseline:
         new_baseline = dict(baseline)

@@ -8,6 +8,7 @@
 #ifndef P3Q_COMMON_RANDOM_H_
 #define P3Q_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -86,6 +87,14 @@ class Rng {
   /// the parent via SplitMix64 remixing. Used to give every simulated node
   /// its own stream while staying reproducible.
   Rng Fork();
+
+  /// Full generator state (the four xoshiro256** words), for checkpointing.
+  std::array<std::uint64_t, 4> State() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Restores a state previously captured with State().
+  void SetState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -115,6 +115,20 @@ class EagerProtocol : public CycleProtocol {
   /// were dropped, summed over live and forgotten queries (monotone).
   std::uint64_t late_partial_results_dropped() const;
 
+  /// Checkpoint codec for in-flight task gossip messages.
+  void EncodeMessage(const DeliveryMessage& message, CheckpointWriter* out,
+                     ProfilePool* pool) const override;
+  std::unique_ptr<DeliveryMessage> DecodeMessage(
+      CheckpointReader* in, const ProfileTable& profiles) const override;
+
+  /// Serializes the protocol-level query state: per-query ActiveQuery +
+  /// reach/task bookkeeping, the counters, and the id/epoch allocators.
+  /// (Per-node EagerTasks live with the nodes, saved by P3QSystem.)
+  void SaveState(CheckpointWriter* out) const;
+
+  /// Restores state written by SaveState, replacing current contents.
+  void LoadState(CheckpointReader* in);
+
  private:
   struct QueryState {
     std::unique_ptr<ActiveQuery> query;

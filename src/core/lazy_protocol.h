@@ -110,6 +110,19 @@ class LazyProtocol : public CycleProtocol {
   static void CommitProfileExchange(P3QSystem* system,
                                     const ProfileExchangePlan& plan);
 
+  /// Checkpoint codec for in-flight gossip messages.
+  void EncodeMessage(const DeliveryMessage& message, CheckpointWriter* out,
+                     ProfilePool* pool) const override;
+  std::unique_ptr<DeliveryMessage> DecodeMessage(
+      CheckpointReader* in, const ProfileTable& profiles) const override;
+
+  /// Checkpoint codec for a planned profile exchange — shared with the
+  /// eager mode, whose gossips piggyback the same structure.
+  static void EncodeExchangePlan(const ProfileExchangePlan& plan,
+                                 CheckpointWriter* out, ProfilePool* pool);
+  static ProfileExchangePlan DecodeExchangePlan(CheckpointReader* in,
+                                                const ProfileTable& profiles);
+
  private:
   /// A probed random-view digest whose full profile will be offered.
   struct PlannedProbe {

@@ -61,6 +61,7 @@ class P3QNode {
   const RandomView& random_view() const { return random_view_; }
 
   Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
 
   /// The profile of `user` if this node can serve it: her own profile when
   /// user == self, else a stored replica. Null otherwise. This is what the
@@ -78,6 +79,14 @@ class P3QNode {
   std::unordered_map<std::uint64_t, EagerTask>& tasks() { return tasks_; }
   const std::unordered_map<std::uint64_t, EagerTask>& tasks() const {
     return tasks_;
+  }
+
+  /// Probe memo of ShouldProbe (checkpoint access).
+  std::unordered_map<UserId, std::uint32_t>& probed_versions() {
+    return probed_versions_;
+  }
+  const std::unordered_map<UserId, std::uint32_t>& probed_versions() const {
+    return probed_versions_;
   }
 
  private:

@@ -41,6 +41,8 @@ class LazyProtocol;
 class EagerProtocol;
 class Tracer;         // obs/trace.h
 class PhaseProfiler;  // obs/profiler.h
+class CheckpointWriter;  // sim/checkpoint.h
+class CheckpointReader;
 
 /// A complete simulated P3Q deployment.
 class P3QSystem {
@@ -214,6 +216,24 @@ class P3QSystem {
   }
 
   EagerProtocol& eager() { return *eager_; }
+
+  // -- Checkpointing ---------------------------------------------------------
+
+  /// Serializes the complete mutable system state at a cycle barrier into
+  /// `out`: the interned profile pool, the store's current snapshots,
+  /// liveness flags, traffic metrics, the system rng, every node (own
+  /// profile, rng, personal network, random view, probe memo, eager tasks),
+  /// both engines (cycle counters + in-flight messages) and the eager
+  /// protocol's query state. Configuration, dataset and the pair-similarity
+  /// cache are NOT serialized — the loading side must be constructed from
+  /// the same dataset/config/seed (the engine seeds are verified on load).
+  void SaveCheckpoint(CheckpointWriter* out) const;
+
+  /// Restores state written by SaveCheckpoint. Throws CheckpointError on
+  /// malformed input or when the snapshot does not match this system (user
+  /// count, engine seeds). On failure the system may be partially restored
+  /// — construct a fresh system before retrying.
+  void LoadCheckpoint(CheckpointReader* in);
 
  private:
   struct PairKey {

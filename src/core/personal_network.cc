@@ -180,6 +180,13 @@ void PersonalNetwork::Remove(UserId user) {
   Reindex();
 }
 
+void PersonalNetwork::RestoreEntries(std::vector<NetworkEntry> entries) {
+  entries_ = std::move(entries);
+  std::sort(entries_.begin(), entries_.end(), EntryBefore);
+  RebalanceStorage();
+  Reindex();
+}
+
 std::size_t PersonalNetwork::StoredProfileActions() const {
   std::size_t total = 0;
   for (const NetworkEntry& e : entries_) {

@@ -115,6 +115,11 @@ class PersonalNetwork {
   /// Sum of stored-replica lengths (the paper's storage metric, Fig. 5).
   std::size_t StoredProfileActions() const;
 
+  /// Checkpoint restore: replaces the contents with `entries`, re-sorting
+  /// into canonical order and rebuilding the index. Entries past the top-c
+  /// lose any stored replica (the storage invariant).
+  void RestoreEntries(std::vector<NetworkEntry> entries);
+
  private:
   void Reindex();
   void RebalanceStorage();

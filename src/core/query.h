@@ -117,6 +117,13 @@ class ActiveQuery {
   IncrementalNra& nra() { return nra_; }
   const IncrementalNra& nra() const { return nra_; }
 
+  /// Serializes the full querier-side state into a checkpoint.
+  void SaveState(CheckpointWriter* out) const;
+
+  /// Reconstructs a query saved with SaveState. Throws CheckpointError on
+  /// malformed input.
+  static ActiveQuery LoadState(CheckpointReader* in);
+
  private:
   std::uint64_t id_;
   QuerySpec spec_;

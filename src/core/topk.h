@@ -23,6 +23,9 @@
 
 namespace p3q {
 
+class CheckpointWriter;  // sim/checkpoint.h
+class CheckpointReader;  // sim/checkpoint.h
+
 /// One candidate of the current top-k, with its NRA score interval.
 struct RankedItem {
   ItemId item = kInvalidItem;
@@ -64,6 +67,14 @@ class IncrementalNra {
   std::size_t num_candidates() const { return candidates_.size(); }
   /// Total list entries consumed since construction (scan-depth metric).
   std::size_t total_entries_scanned() const { return total_scanned_; }
+
+  /// Serializes the full accumulator state (lists with scan cursors,
+  /// candidates, counters) into a checkpoint.
+  void SaveState(CheckpointWriter* out) const;
+
+  /// Reconstructs an accumulator saved with SaveState. Throws
+  /// CheckpointError on malformed input.
+  static IncrementalNra LoadState(CheckpointReader* in);
 
  private:
   struct List {

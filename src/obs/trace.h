@@ -192,6 +192,14 @@ class Tracer {
   /// Total accepted events.
   std::uint64_t accepted() const { return next_seq_; }
 
+  /// Restores the accept cursor (sequence counter + per-kind rollups) from a
+  /// checkpoint, so a resumed run's trace continues the straight run's
+  /// numbering — the resumed JSONL is a byte-suffix of the full trace.
+  void RestoreCursor(std::uint64_t next_seq, const KindCounts& counts) {
+    next_seq_ = next_seq;
+    counts_ = counts;
+  }
+
  private:
   bool Passes(const TraceEvent& event) const {
     if ((kind_mask_ & (1u << static_cast<int>(event.kind))) == 0) return false;

@@ -23,6 +23,12 @@ ProfilePtr ProfileStore::ApplyUpdate(UserId user,
   return current_[user];
 }
 
+void ProfileStore::RestoreSnapshots(std::vector<ProfilePtr> snapshots) {
+  assert(snapshots.size() == current_.size() &&
+         "restore must cover exactly the existing users");
+  current_ = std::move(snapshots);
+}
+
 std::size_t ProfileStore::TotalActions() const {
   std::size_t total = 0;
   for (const auto& p : current_) total += p->Length();

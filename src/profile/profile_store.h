@@ -48,6 +48,11 @@ class ProfileStore {
   /// Total number of tagging actions across all current snapshots.
   std::size_t TotalActions() const;
 
+  /// Replaces every user's current snapshot (checkpoint restore). The
+  /// vector must hold one non-null snapshot per existing user, owners in
+  /// id order.
+  void RestoreSnapshots(std::vector<ProfilePtr> snapshots);
+
  private:
   std::vector<ProfilePtr> current_;
   std::size_t digest_bits_ = kDefaultDigestBits;

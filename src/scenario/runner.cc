@@ -15,6 +15,7 @@
 #include "eval/metrics_eval.h"
 #include "eval/recall.h"
 #include "serving/lifecycle.h"
+#include "sim/checkpoint.h"
 
 namespace p3q {
 namespace {
@@ -85,6 +86,326 @@ void TryIssueServingQuery(P3QSystem* system, const Dataset& dataset,
   }
 }
 
+/// Phase cycle budget after applying --cycle-scale (every phase keeps >= 1).
+std::uint64_t ScaledCycles(const ScenarioPhase& phase, double cycle_scale) {
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(
+             static_cast<double>(phase.cycles) * cycle_scale)));
+}
+
+// -- Checkpoint codecs of the runner-owned structures ------------------------
+
+void WriteLatencySpec(CheckpointWriter* out, const LatencySpec& spec) {
+  out->U32(static_cast<std::uint32_t>(spec.kind));
+  out->U64(spec.fixed);
+  out->U64(spec.lo);
+  out->U64(spec.hi);
+  out->F64(spec.loss);
+  out->U64(spec.max_delay);
+}
+
+LatencySpec ReadLatencySpec(CheckpointReader* in) {
+  LatencySpec spec;
+  const std::uint32_t kind = in->U32();
+  if (kind > static_cast<std::uint32_t>(LatencyKind::kLossy)) {
+    throw CheckpointError("unknown latency model kind " + std::to_string(kind) +
+                          " in checkpoint");
+  }
+  spec.kind = static_cast<LatencyKind>(kind);
+  spec.fixed = in->U64();
+  spec.lo = in->U64();
+  spec.hi = in->U64();
+  spec.loss = in->F64();
+  spec.max_delay = in->U64();
+  return spec;
+}
+
+void WriteArrivalSpec(CheckpointWriter* out, const ArrivalSpec& spec) {
+  out->U32(static_cast<std::uint32_t>(spec.kind));
+  out->F64(spec.rate);
+  out->U64(spec.trace.size());
+  for (double r : spec.trace) out->F64(r);
+  out->U64(spec.slo_cycles);
+  out->F64(spec.recall_target);
+}
+
+ArrivalSpec ReadArrivalSpec(CheckpointReader* in) {
+  ArrivalSpec spec;
+  const std::uint32_t kind = in->U32();
+  if (kind > static_cast<std::uint32_t>(ArrivalKind::kTrace)) {
+    throw CheckpointError("unknown arrival-process kind " +
+                          std::to_string(kind) + " in checkpoint");
+  }
+  spec.kind = static_cast<ArrivalKind>(kind);
+  spec.rate = in->F64();
+  const std::uint64_t num_rates = in->Count(8);
+  spec.trace.reserve(static_cast<std::size_t>(num_rates));
+  for (std::uint64_t r = 0; r < num_rates; ++r) spec.trace.push_back(in->F64());
+  spec.slo_cycles = in->U64();
+  spec.recall_target = in->F64();
+  return spec;
+}
+
+bool SameArrivalSpec(const ArrivalSpec& a, const ArrivalSpec& b) {
+  return a.kind == b.kind && a.rate == b.rate && a.trace == b.trace &&
+         a.slo_cycles == b.slo_cycles && a.recall_target == b.recall_target;
+}
+
+void WriteKindCounts(CheckpointWriter* out, const Tracer::KindCounts& counts) {
+  for (std::uint64_t c : counts) out->U64(c);
+}
+
+Tracer::KindCounts ReadKindCounts(CheckpointReader* in) {
+  Tracer::KindCounts counts{};
+  for (std::uint64_t& c : counts) c = in->U64();
+  return counts;
+}
+
+/// Serializes a closed PhaseReport. The wall-clock timing block travels as
+/// F64 bit patterns so a resumed report reproduces the straight run's
+/// opt-in timing fields for already-finished phases; the per-engine profile
+/// breakdown (pure wall clock, opt-in only) is intentionally dropped.
+void WritePhaseReport(CheckpointWriter* out, const PhaseReport& pr) {
+  out->Str(pr.name);
+  out->Str(pr.mode);
+  out->U64(pr.cycles);
+  out->U64(pr.online_at_end);
+  out->U64(pr.departures);
+  out->U64(pr.rejoins);
+  out->I64(pr.queries_issued);
+  out->I64(pr.queries_completed);
+  out->F64(pr.avg_recall);
+  out->F64(pr.avg_coverage);
+  out->F64(pr.success_ratio);
+  WriteMetrics(out, pr.traffic);
+  WriteDeliveryStats(out, pr.delivery);
+  out->U64(pr.in_flight_at_end);
+  out->Str(pr.arrivals);
+  WriteQueryLatencyStats(out, pr.query_latency);
+  out->U64(pr.open_queries_at_end);
+  out->F64(pr.timing.wall_seconds);
+  out->F64(pr.timing.cycles_per_sec);
+  out->F64(pr.timing.user_cycles_per_sec);
+  out->F64(pr.timing.queries_per_sec);
+  out->F64(pr.timing.slo_queries_per_sec);
+  out->I64(pr.timing.threads);
+  WriteKindCounts(out, pr.trace_events);
+}
+
+PhaseReport ReadPhaseReport(CheckpointReader* in) {
+  PhaseReport pr;
+  pr.name = in->Str();
+  pr.mode = in->Str();
+  pr.cycles = in->U64();
+  pr.online_at_end = static_cast<std::size_t>(in->U64());
+  pr.departures = static_cast<std::size_t>(in->U64());
+  pr.rejoins = static_cast<std::size_t>(in->U64());
+  pr.queries_issued = static_cast<int>(in->I64());
+  pr.queries_completed = static_cast<int>(in->I64());
+  pr.avg_recall = in->F64();
+  pr.avg_coverage = in->F64();
+  pr.success_ratio = in->F64();
+  pr.traffic = ReadMetrics(in);
+  pr.delivery = ReadDeliveryStats(in);
+  pr.in_flight_at_end = static_cast<std::size_t>(in->U64());
+  pr.arrivals = in->Str();
+  pr.query_latency = ReadQueryLatencyStats(in);
+  pr.open_queries_at_end = static_cast<std::size_t>(in->U64());
+  pr.timing.wall_seconds = in->F64();
+  pr.timing.cycles_per_sec = in->F64();
+  pr.timing.user_cycles_per_sec = in->F64();
+  pr.timing.queries_per_sec = in->F64();
+  pr.timing.slo_queries_per_sec = in->F64();
+  pr.timing.threads = static_cast<int>(in->I64());
+  pr.trace_events = ReadKindCounts(in);
+  return pr;
+}
+
+/// Writes the identity header: which scenario and result-affecting options
+/// produced this snapshot (threads/tracer/profiler excluded — they never
+/// change results).
+void WriteRunHeader(CheckpointWriter* out, const std::string& scenario_name,
+                    const ScenarioRunnerOptions& options,
+                    const LatencySpec& latency) {
+  out->Str(scenario_name);
+  out->I64(options.users);
+  out->U64(options.seed);
+  out->F64(options.cycle_scale);
+  out->I64(options.network_size);
+  out->I64(options.stored_profiles);
+  out->F64(options.alpha);
+  out->I64(options.top_k);
+  out->U32(static_cast<std::uint32_t>(options.similarity));
+  WriteLatencySpec(out, latency);
+  out->U8(options.arrivals.has_value() ? 1 : 0);
+  if (options.arrivals.has_value()) WriteArrivalSpec(out, *options.arrivals);
+  out->Sentinel();
+}
+
+CheckpointRunInfo ReadRunHeader(CheckpointReader* in) {
+  CheckpointRunInfo info;
+  info.scenario = in->Str();
+  info.users = static_cast<int>(in->I64());
+  info.seed = in->U64();
+  info.cycle_scale = in->F64();
+  info.network_size = static_cast<int>(in->I64());
+  info.stored_profiles = static_cast<int>(in->I64());
+  info.alpha = in->F64();
+  info.top_k = static_cast<int>(in->I64());
+  const std::uint32_t similarity = in->U32();
+  if (similarity > static_cast<std::uint32_t>(SimilarityMetric::kOverlap)) {
+    throw CheckpointError("unknown similarity metric " +
+                          std::to_string(similarity) + " in checkpoint");
+  }
+  info.similarity = static_cast<SimilarityMetric>(similarity);
+  info.latency = ReadLatencySpec(in);
+  if (in->U8() != 0) info.arrivals = ReadArrivalSpec(in);
+  in->Sentinel("run header");
+  return info;
+}
+
+/// Throws a CheckpointError naming the first option the resuming run sets
+/// differently from what the snapshot was written with.
+void VerifyResumeHeader(const CheckpointRunInfo& info, const Scenario& scenario,
+                        const ScenarioRunnerOptions& options,
+                        const LatencySpec& latency) {
+  const auto mismatch = [](const std::string& what, const std::string& saved,
+                           const std::string& now) {
+    throw CheckpointError("checkpoint was written with " + what + " = " +
+                          saved + " but this run uses " + now +
+                          "; resume with matching options");
+  };
+  if (info.scenario != scenario.name) {
+    mismatch("scenario", info.scenario, scenario.name);
+  }
+  if (info.users != options.users) {
+    mismatch("users", std::to_string(info.users),
+             std::to_string(options.users));
+  }
+  if (info.seed != options.seed) {
+    mismatch("seed", std::to_string(info.seed), std::to_string(options.seed));
+  }
+  if (info.cycle_scale != options.cycle_scale) {
+    mismatch("cycle_scale", std::to_string(info.cycle_scale),
+             std::to_string(options.cycle_scale));
+  }
+  if (info.network_size != options.network_size) {
+    mismatch("network_size", std::to_string(info.network_size),
+             std::to_string(options.network_size));
+  }
+  if (info.stored_profiles != options.stored_profiles) {
+    mismatch("stored_profiles", std::to_string(info.stored_profiles),
+             std::to_string(options.stored_profiles));
+  }
+  if (info.alpha != options.alpha) {
+    mismatch("alpha", std::to_string(info.alpha),
+             std::to_string(options.alpha));
+  }
+  if (info.top_k != options.top_k) {
+    mismatch("top_k", std::to_string(info.top_k),
+             std::to_string(options.top_k));
+  }
+  if (info.similarity != options.similarity) {
+    mismatch("similarity", SimilarityMetricName(info.similarity),
+             SimilarityMetricName(options.similarity));
+  }
+  if (info.latency.Name() != latency.Name()) {
+    mismatch("latency", info.latency.Name(), latency.Name());
+  }
+  if (info.arrivals.has_value() != options.arrivals.has_value() ||
+      (info.arrivals.has_value() &&
+       !SameArrivalSpec(*info.arrivals, *options.arrivals))) {
+    mismatch("arrivals",
+             info.arrivals.has_value() ? info.arrivals->Name() : "none",
+             options.arrivals.has_value() ? options.arrivals->Name() : "none");
+  }
+}
+
+/// Everything the runner section restores: the resume position, the
+/// workload state, the closed phase reports, and the in-progress phase's
+/// partial accumulators and before-snapshots.
+struct RunnerResumeState {
+  std::size_t phase_index = 0;
+  std::uint64_t cycle = 0;  ///< within the resumed phase
+  std::uint64_t serving_cycle = 0;
+  bool has_tracker = false;
+  bool open_loop = false;
+  std::uint64_t slo_cycles = 0;
+  QueryLatencyStats serving_stats;
+  bool arrival_active = false;
+  std::array<std::uint64_t, 4> arrival_rng{};
+  std::vector<PhaseReport> completed;
+  std::uint64_t pr_departures = 0;
+  std::uint64_t pr_rejoins = 0;
+  std::int64_t pr_queries_issued = 0;
+  Metrics before;
+  DeliveryStats delivery_before;
+  QueryLatencyStats serving_before;
+  bool traced = false;
+  std::uint64_t trace_next_seq = 0;
+  Tracer::KindCounts trace_counts{};
+  Tracer::KindCounts trace_before{};
+  double online_cycle_sum = 0;
+  std::vector<OpenQuery> open;
+};
+
+RunnerResumeState ReadRunnerSection(CheckpointReader* in, Rng* workload_rng,
+                                    Rng* serving_rng,
+                                    std::optional<ServingTracker>* tracker) {
+  RunnerResumeState s;
+  const std::uint64_t num_completed = in->Count(64);
+  s.completed.reserve(static_cast<std::size_t>(num_completed));
+  for (std::uint64_t p = 0; p < num_completed; ++p) {
+    s.completed.push_back(ReadPhaseReport(in));
+  }
+  s.phase_index = s.completed.size();
+  s.cycle = in->U64();
+  s.serving_cycle = in->U64();
+  ReadRngState(in, workload_rng);
+  ReadRngState(in, serving_rng);
+  s.has_tracker = in->U8() != 0;
+  if (s.has_tracker) {
+    tracker->emplace(0, 0.0);  // overwritten entirely by LoadState
+    (*tracker)->LoadState(in);
+  }
+  s.open_loop = in->U8() != 0;
+  s.slo_cycles = in->U64();
+  s.serving_stats = ReadQueryLatencyStats(in);
+  s.arrival_active = in->U8() != 0;
+  if (s.arrival_active) {
+    Rng scratch(0);
+    ReadRngState(in, &scratch);
+    s.arrival_rng = scratch.State();
+  }
+  s.pr_departures = in->U64();
+  s.pr_rejoins = in->U64();
+  s.pr_queries_issued = in->I64();
+  s.before = ReadMetrics(in);
+  s.delivery_before = ReadDeliveryStats(in);
+  s.serving_before = ReadQueryLatencyStats(in);
+  s.traced = in->U8() != 0;
+  if (s.traced) {
+    s.trace_next_seq = in->U64();
+    s.trace_counts = ReadKindCounts(in);
+    s.trace_before = ReadKindCounts(in);
+  }
+  s.online_cycle_sum = in->F64();
+  const std::uint64_t num_open = in->Count(16);
+  s.open.reserve(static_cast<std::size_t>(num_open));
+  for (std::uint64_t q = 0; q < num_open; ++q) {
+    OpenQuery query;
+    query.id = in->U64();
+    const std::uint64_t num_reference = in->Count(4);
+    query.reference.reserve(static_cast<std::size_t>(num_reference));
+    for (std::uint64_t r = 0; r < num_reference; ++r) {
+      query.reference.push_back(in->U32());
+    }
+    s.open.push_back(std::move(query));
+  }
+  in->Sentinel("runner");
+  return s;
+}
+
 /// Emits one node_departed / node_rejoined event per user at the timeline
 /// cycle; no-op without a tracer.
 void TraceLiveness(Tracer* tracer, TraceEventKind kind, std::uint64_t cycle,
@@ -143,7 +464,10 @@ ScenarioReport RunScenarioTimeline(const Scenario& scenario,
   system.SetLatency(latency);
   system.SetTracer(options.tracer);
   system.SetProfiler(options.profiler);
-  system.BootstrapRandomViews();
+  const bool resuming = !options.resume_path.empty();
+  // A resumed run restores every view/network/rng below, so the bootstrap
+  // draws would be overwritten anyway — skip the work.
+  if (!resuming) system.BootstrapRandomViews();
   // Workload randomness (querier choice, duty sampling, update batches) is
   // forked off the master seed, decorrelated from the system's own stream.
   Rng workload_rng(options.seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
@@ -173,10 +497,75 @@ ScenarioReport RunScenarioTimeline(const Scenario& scenario,
   IdealNetworks ideal;
   bool ideal_dirty = true;
 
-  for (const ScenarioPhase& phase : scenario.phases) {
-    const std::uint64_t cycles = std::max<std::uint64_t>(
-        1, static_cast<std::uint64_t>(std::llround(
-               static_cast<double>(phase.cycles) * options.cycle_scale)));
+  // Checkpoint/resume wiring. The checkpoint fires at the top of timeline
+  // cycle K, before K's events — so a resumed run fires them exactly once.
+  const bool want_checkpoint = options.checkpoint_at.has_value();
+  if (want_checkpoint) {
+    std::uint64_t total_scaled = 0;
+    for (const ScenarioPhase& phase : scenario.phases) {
+      total_scaled += ScaledCycles(phase, options.cycle_scale);
+    }
+    if (options.checkpoint_path.empty()) {
+      throw std::invalid_argument(
+          "ScenarioRunnerOptions: checkpoint_at requires checkpoint_path");
+    }
+    if (*options.checkpoint_at >= total_scaled) {
+      throw std::invalid_argument(
+          "ScenarioRunnerOptions: checkpoint_at " +
+          std::to_string(*options.checkpoint_at) +
+          " is past the scaled timeline (" + std::to_string(total_scaled) +
+          " cycles)");
+    }
+  }
+  bool checkpoint_written = false;
+
+  RunnerResumeState resume;
+  if (resuming) {
+    const std::vector<std::uint8_t> payload =
+        ReadCheckpointPayload(options.resume_path);
+    CheckpointReader in(payload.data(), payload.size());
+    VerifyResumeHeader(ReadRunHeader(&in), scenario, options, latency);
+    system.LoadCheckpoint(&in);
+    resume = ReadRunnerSection(&in, &workload_rng, &serving_rng, &tracker);
+    in.ExpectEnd();
+    if (resume.phase_index >= scenario.phases.size()) {
+      throw CheckpointError(
+          "checkpoint resume position is past the end of the timeline");
+    }
+    serving_cycle = resume.serving_cycle;
+    serving_stats = resume.serving_stats;
+    report.open_loop = resume.open_loop;
+    report.slo_cycles = resume.slo_cycles;
+    if (options.tracer != nullptr && resume.traced) {
+      // Continue the straight run's event numbering: the resumed JSONL is a
+      // byte-suffix of the full trace.
+      options.tracer->RestoreCursor(resume.trace_next_seq,
+                                    resume.trace_counts);
+    }
+    for (PhaseReport& done : resume.completed) {
+      report.total_cycles += done.cycles;
+      report.total_departures += done.departures;
+      report.total_rejoins += done.rejoins;
+      report.total_queries_issued += done.queries_issued;
+      report.total_queries_completed += done.queries_completed;
+      report.total_timing.wall_seconds += done.timing.wall_seconds;
+      report.phases.push_back(std::move(done));
+    }
+    if (want_checkpoint && *options.checkpoint_at < serving_cycle) {
+      throw std::invalid_argument(
+          "ScenarioRunnerOptions: checkpoint_at " +
+          std::to_string(*options.checkpoint_at) +
+          " is before the resume position (" + std::to_string(serving_cycle) +
+          ")");
+    }
+  }
+
+  for (std::size_t phase_index = 0; phase_index < scenario.phases.size();
+       ++phase_index) {
+    if (resuming && phase_index < resume.phase_index) continue;
+    const bool resumed_phase = resuming && phase_index == resume.phase_index;
+    const ScenarioPhase& phase = scenario.phases[phase_index];
+    const std::uint64_t cycles = ScaledCycles(phase, options.cycle_scale);
 
     PhaseReport pr;
     pr.name = phase.name;
@@ -199,21 +588,102 @@ ScenarioReport RunScenarioTimeline(const Scenario& scenario,
                               options.seed + report.phases.size());
       pr.arrivals = phase_arrivals.Name();
     }
-    const QueryLatencyStats serving_before = serving_stats;
+    if (resumed_phase) {
+      if (resume.cycle >= cycles) {
+        throw CheckpointError(
+            "checkpoint resume position is past the phase end");
+      }
+      if (resume.arrival_active != arrival_process.has_value()) {
+        throw CheckpointError(
+            "checkpoint arrival-process state does not match the scenario's "
+            "phase");
+      }
+      if (arrival_process.has_value()) {
+        arrival_process->rng().SetState(resume.arrival_rng);
+      }
+      pr.departures = static_cast<std::size_t>(resume.pr_departures);
+      pr.rejoins = static_cast<std::size_t>(resume.pr_rejoins);
+      pr.queries_issued = static_cast<int>(resume.pr_queries_issued);
+    }
+    const QueryLatencyStats serving_before =
+        resumed_phase ? resume.serving_before : serving_stats;
 
-    std::vector<OpenQuery> open;
-    const Metrics before = system.metrics().Snapshot();
-    const DeliveryStats delivery_before = system.DeliveryStatsTotal();
+    std::vector<OpenQuery> open =
+        resumed_phase ? std::move(resume.open) : std::vector<OpenQuery>{};
+    const Metrics before =
+        resumed_phase ? resume.before : system.metrics().Snapshot();
+    const DeliveryStats delivery_before =
+        resumed_phase ? resume.delivery_before : system.DeliveryStatsTotal();
     Tracer::KindCounts trace_before{};
-    if (options.tracer != nullptr) trace_before = options.tracer->counts();
+    if (options.tracer != nullptr) {
+      trace_before = resumed_phase && resume.traced ? resume.trace_before
+                                                    : options.tracer->counts();
+    }
     std::map<std::string, PhaseBreakdown> profile_before;
     if (options.profiler != nullptr) {
       profile_before = options.profiler->Snapshot();
     }
-    double online_cycle_sum = 0;  // Σ over cycles of online users (work rate)
+    double online_cycle_sum =
+        resumed_phase ? resume.online_cycle_sum
+                      : 0;  // Σ over cycles of online users (work rate)
 
+    // Snapshots the whole run — identity header, system, runner position —
+    // into options.checkpoint_path. Everything captured lives above.
+    const auto save_checkpoint = [&](std::uint64_t cycle_in_phase) {
+      CheckpointWriter payload;
+      WriteRunHeader(&payload, scenario.name, options, latency);
+      system.SaveCheckpoint(&payload);
+      payload.U64(report.phases.size());
+      for (const PhaseReport& done : report.phases) {
+        WritePhaseReport(&payload, done);
+      }
+      payload.U64(cycle_in_phase);
+      payload.U64(serving_cycle);
+      WriteRngState(&payload, workload_rng);
+      WriteRngState(&payload, serving_rng);
+      payload.U8(tracker.has_value() ? 1 : 0);
+      if (tracker.has_value()) tracker->SaveState(&payload);
+      payload.U8(report.open_loop ? 1 : 0);
+      payload.U64(report.slo_cycles);
+      WriteQueryLatencyStats(&payload, serving_stats);
+      payload.U8(arrival_process.has_value() ? 1 : 0);
+      if (arrival_process.has_value()) {
+        WriteRngState(&payload, arrival_process->rng());
+      }
+      payload.U64(pr.departures);
+      payload.U64(pr.rejoins);
+      payload.I64(pr.queries_issued);
+      WriteMetrics(&payload, before);
+      WriteDeliveryStats(&payload, delivery_before);
+      WriteQueryLatencyStats(&payload, serving_before);
+      payload.U8(options.tracer != nullptr ? 1 : 0);
+      if (options.tracer != nullptr) {
+        payload.U64(options.tracer->accepted());
+        WriteKindCounts(&payload, options.tracer->counts());
+        WriteKindCounts(&payload, trace_before);
+      }
+      payload.F64(online_cycle_sum);
+      payload.U64(open.size());
+      for (const OpenQuery& q : open) {
+        payload.U64(q.id);
+        payload.U64(q.reference.size());
+        for (ItemId item : q.reference) payload.U32(item);
+      }
+      payload.Sentinel();
+      WriteCheckpointFile(options.checkpoint_path, payload);
+    };
+
+    const std::uint64_t start_cycle = resumed_phase ? resume.cycle : 0;
     const auto wall_start = std::chrono::steady_clock::now();
-    for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    for (std::uint64_t cycle = start_cycle; cycle < cycles; ++cycle) {
+      // 0. Checkpoint — taken at the top of the timeline cycle, BEFORE this
+      // cycle's events fire, so the resumed run fires them exactly once.
+      if (want_checkpoint && !checkpoint_written &&
+          serving_cycle == *options.checkpoint_at) {
+        save_checkpoint(cycle);
+        checkpoint_written = true;
+      }
+
       // 1. Scheduled events.
       for (const ScenarioEvent& event : phase.events) {
         if (ScaleOffset(event.at_cycle, options.cycle_scale, cycles) != cycle) {
@@ -455,6 +925,12 @@ ScenarioReport RunScenarioTimeline(const Scenario& scenario,
 }
 
 }  // namespace
+
+CheckpointRunInfo ReadScenarioCheckpointInfo(const std::string& path) {
+  const std::vector<std::uint8_t> payload = ReadCheckpointPayload(path);
+  CheckpointReader in(payload.data(), payload.size());
+  return ReadRunHeader(&in);
+}
 
 ScenarioReport RunScenario(const Scenario& scenario,
                            const ScenarioRunnerOptions& options) {

@@ -69,7 +69,43 @@ struct ScenarioRunnerOptions {
   /// When > 0, prints a stderr heartbeat every this many timeline cycles
   /// (cycle, open queries, messages in flight). Never touches stdout.
   std::uint64_t progress_every = 0;
+  /// When set, snapshot the full run state to `checkpoint_path` at the top
+  /// of this timeline cycle — before that cycle's events fire — and then
+  /// continue to completion (sim/checkpoint.h). Must lie inside the scaled
+  /// timeline and requires `checkpoint_path`.
+  std::optional<std::uint64_t> checkpoint_at;
+  std::string checkpoint_path;
+  /// When non-empty, restore the run from this snapshot and replay only the
+  /// remaining timeline. The scenario and every result-affecting option
+  /// must match the values the snapshot was written with (threads, tracer,
+  /// profiler and progress_every may differ); the final report is
+  /// byte-identical to the straight-through run's.
+  std::string resume_path;
 };
+
+/// Identity of a checkpoint: the scenario and result-affecting options it
+/// was written with. Lets a CLI reconstruct a matching run from the file
+/// alone (p3q_sim --resume=FILE).
+struct CheckpointRunInfo {
+  std::string scenario;
+  int users = 0;
+  std::uint64_t seed = 0;
+  double cycle_scale = 1.0;
+  int network_size = 0;
+  int stored_profiles = 0;
+  double alpha = 0.5;
+  int top_k = 0;
+  SimilarityMetric similarity = SimilarityMetric::kCommonActions;
+  /// The EFFECTIVE latency model of the run (scenario's own or the CLI
+  /// override) — set it as the options override when resuming.
+  LatencySpec latency;
+  /// The run's arrival-process override, when one was set.
+  std::optional<ArrivalSpec> arrivals;
+};
+
+/// Reads a checkpoint's identity header (validating magic/version/CRC).
+/// Throws CheckpointError on any problem.
+CheckpointRunInfo ReadScenarioCheckpointInfo(const std::string& path);
 
 /// Wall-clock throughput of a phase (the only thread-count-dependent part
 /// of a report; serialization excludes it unless asked, so reports from

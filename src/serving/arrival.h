@@ -79,6 +79,11 @@ class ArrivalProcess {
 
   const ArrivalSpec& spec() const { return spec_; }
 
+  /// Mutable draw stream — exposed so checkpoints can save/restore the
+  /// cursor and keep resumed arrival sequences byte-identical.
+  Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
  private:
   ArrivalSpec spec_;
   Rng rng_;

@@ -29,6 +29,8 @@
 namespace p3q {
 
 class P3QSystem;
+class CheckpointWriter;
+class CheckpointReader;
 
 /// Tracks open-loop queries from issue to completion across phase
 /// boundaries; one instance per scenario run.
@@ -58,6 +60,12 @@ class ServingTracker {
   std::size_t open() const { return open_.size(); }
 
   std::uint64_t slo_cycles() const { return slo_cycles_; }
+
+  /// Serializes the SLO knobs and every open query into a checkpoint.
+  void SaveState(CheckpointWriter* out) const;
+
+  /// Restores state written by SaveState, replacing current contents.
+  void LoadState(CheckpointReader* in);
 
  private:
   struct OpenQuery {

@@ -198,6 +198,17 @@ class DeliveryQueue {
   /// at TakeDue. Null detaches. Set through Engine::SetTracer.
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Serializes the between-cycle state — the seq counter, the stats, and
+  /// every in-flight message (payloads encoded by `protocol`). Only valid
+  /// at a cycle barrier: the per-shard pending lists must be empty.
+  void SaveState(const CycleProtocol& protocol, CheckpointWriter* out,
+                 ProfilePool* pool) const;
+
+  /// Restores state written by SaveState, replacing any current contents.
+  /// Throws CheckpointError on malformed input.
+  void LoadState(const CycleProtocol& protocol, CheckpointReader* in,
+                 const ProfileTable& profiles);
+
  private:
   std::array<std::vector<InFlight>, kEngineShards> pending_;
   std::array<std::uint64_t, kEngineShards> pending_drops_{};

@@ -11,6 +11,7 @@
 #include "common/env.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "sim/checkpoint.h"
 #include "sim/delivery.h"
 
 namespace p3q {
@@ -121,6 +122,20 @@ class PlanWorkerPool {
   std::size_t finished_ = 0;
   bool stop_ = false;
 };
+
+void CycleProtocol::EncodeMessage(const DeliveryMessage&, CheckpointWriter*,
+                                  ProfilePool*) const {
+  throw CheckpointError(
+      "protocol cannot encode delivery messages (EncodeMessage not "
+      "overridden)");
+}
+
+std::unique_ptr<DeliveryMessage> CycleProtocol::DecodeMessage(
+    CheckpointReader*, const ProfileTable&) const {
+  throw CheckpointError(
+      "protocol cannot decode delivery messages (DecodeMessage not "
+      "overridden)");
+}
 
 void PlanContext::Send(std::unique_ptr<DeliveryMessage> message) const {
   std::uint64_t delay = 0;
@@ -333,6 +348,37 @@ void Engine::RunOneCycle() {
   }
   for (auto& observer : observers_) observer(cycle_);
   ++cycle_;
+}
+
+void Engine::SaveState(CheckpointWriter* out, ProfilePool* pool) const {
+  out->U64(seed_);
+  out->U64(cycle_);
+  out->U64(queues_.size());
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    queues_[p]->SaveState(*protocols_[p], out, pool);
+  }
+  out->Sentinel();
+}
+
+void Engine::LoadState(CheckpointReader* in, const ProfileTable& profiles) {
+  const std::uint64_t seed = in->U64();
+  if (seed != seed_) {
+    throw CheckpointError(
+        "checkpoint engine seed does not match this run (different master "
+        "seed or engine construction order)");
+  }
+  cycle_ = in->U64();
+  const std::uint64_t num_queues = in->U64();
+  if (num_queues != queues_.size()) {
+    throw CheckpointError(
+        "checkpoint engine has " + std::to_string(num_queues) +
+        " protocol queue(s) but this run registered " +
+        std::to_string(queues_.size()));
+  }
+  for (std::size_t p = 0; p < queues_.size(); ++p) {
+    queues_[p]->LoadState(*protocols_[p], in, profiles);
+  }
+  in->Sentinel("engine");
 }
 
 void Engine::RunCycles(std::uint64_t n) {

@@ -62,12 +62,16 @@
 
 namespace p3q {
 
-class PlanWorkerPool;   // persistent plan-phase workers (engine.cc)
-class DeliveryQueue;    // timestamped in-flight messages (sim/delivery.h)
-class LatencyModel;     // pluggable delay/loss policy (sim/delivery.h)
-class Tracer;           // deterministic event tracing (obs/trace.h)
-class PhaseProfiler;    // wall-clock phase profiling (obs/profiler.h)
-struct PhaseBreakdown;  // one engine's profile slot (obs/profiler.h)
+class PlanWorkerPool;    // persistent plan-phase workers (engine.cc)
+class DeliveryQueue;     // timestamped in-flight messages (sim/delivery.h)
+class LatencyModel;      // pluggable delay/loss policy (sim/delivery.h)
+class Tracer;            // deterministic event tracing (obs/trace.h)
+class PhaseProfiler;     // wall-clock phase profiling (obs/profiler.h)
+struct PhaseBreakdown;   // one engine's profile slot (obs/profiler.h)
+class CheckpointWriter;  // snapshot byte sink (sim/checkpoint.h)
+class CheckpointReader;  // snapshot byte source (sim/checkpoint.h)
+class ProfilePool;       // profile interning on save (sim/checkpoint.h)
+class ProfileTable;      // profile resolution on load (sim/checkpoint.h)
 
 /// Base of every self-contained planned effect a protocol sends through the
 /// delivery layer; protocols derive their own payload types and downcast in
@@ -177,6 +181,18 @@ class CycleProtocol {
     (void)cycle;
     (void)rng;
   }
+
+  /// Serializes one of this protocol's DeliveryMessage payloads into a
+  /// checkpoint. Protocols that put messages on the wire must override both
+  /// codec hooks; the defaults throw CheckpointError (a protocol that never
+  /// sends is never asked to encode).
+  virtual void EncodeMessage(const DeliveryMessage& message,
+                             CheckpointWriter* out, ProfilePool* pool) const;
+
+  /// Reconstructs a payload previously written by EncodeMessage. Must throw
+  /// CheckpointError (never crash) on malformed input.
+  virtual std::unique_ptr<DeliveryMessage> DecodeMessage(
+      CheckpointReader* in, const ProfileTable& profiles) const;
 };
 
 /// Deterministic sharded cycle scheduler.
@@ -246,6 +262,17 @@ class Engine {
 
   /// Cycles completed so far.
   std::uint64_t CurrentCycle() const { return cycle_; }
+
+  /// Serializes the engine's between-cycle state — the cycle counter, a
+  /// seed echo, and every protocol's delivery queue (payloads encoded by
+  /// the owning protocol). Only valid at a cycle barrier, where no
+  /// per-shard pending state exists.
+  void SaveState(CheckpointWriter* out, ProfilePool* pool) const;
+
+  /// Restores state written by SaveState. The engine must already have the
+  /// same protocols registered (and the same seed) as the saving engine;
+  /// mismatches throw CheckpointError.
+  void LoadState(CheckpointReader* in, const ProfileTable& profiles);
 
   /// Shard of `node` in a population of `num_nodes`: contiguous ranges, so
   /// ascending node order equals (shard, node-within-shard) order.

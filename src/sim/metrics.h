@@ -90,6 +90,11 @@ class Metrics {
   /// Zeroes every counter.
   void Reset();
 
+  /// Overwrites one counter pair (checkpoint restore).
+  void Restore(MessageType type, const MessageStats& stats) {
+    stats_[static_cast<int>(type)] = stats;
+  }
+
  private:
   std::array<MessageStats, static_cast<int>(MessageType::kCount)> stats_{};
 };

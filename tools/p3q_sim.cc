@@ -31,6 +31,11 @@
 //   p3q_sim --scenario=diurnal --trace=trace.json --trace-format=chrome
 //   p3q_sim --scenario=mixed-stress --trace=q.jsonl --trace-filter=query_issued,query_completed
 //   p3q_sim --scenario=steady-state --profile=profile.json --progress=200
+//
+// Checkpoint/resume (deterministic snapshots of a running scenario):
+//
+//   p3q_sim --scenario=diurnal --checkpoint-at=200 --checkpoint=run.ckpt
+//   p3q_sim --resume=run.ckpt --json=out.json
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -58,6 +63,7 @@
 #include "scenario/registry.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
+#include "sim/checkpoint.h"
 #include "sim/delivery.h"
 
 namespace {
@@ -107,6 +113,13 @@ struct Options {
   int trace_ring = 0;                      // 0 = stream every event
   std::string profile_path;                // --profile=FILE
   std::uint64_t progress_every = 0;        // 0 = no heartbeat
+  // Checkpoint/resume.
+  std::optional<std::uint64_t> checkpoint_at;  // --checkpoint-at=CYCLE
+  std::string checkpoint_path;                 // --checkpoint=FILE
+  std::string resume_path;                     // --resume=FILE
+  // The arrival override the snapshot was written with (filled from the
+  // checkpoint header when resuming, never from a flag).
+  std::optional<p3q::ArrivalSpec> resume_arrivals;
 };
 
 void PrintUsage() {
@@ -181,7 +194,19 @@ void PrintUsage() {
       "  --progress[=K]     scenario mode: print a stderr heartbeat every K\n"
       "                     timeline cycles (default K=100) with the cycle,\n"
       "                     open queries and messages in flight; stdout\n"
-      "                     reports are untouched\n";
+      "                     reports are untouched\n"
+      "\nCheckpoint/resume (scenario mode only):\n"
+      "  --checkpoint-at=CYCLE\n"
+      "                     snapshot the full run state at the top of this\n"
+      "                     timeline cycle (before its events fire) and keep\n"
+      "                     running; requires --checkpoint=FILE\n"
+      "  --checkpoint=FILE  where --checkpoint-at writes the snapshot\n"
+      "  --resume=FILE      restore a run from a snapshot and replay only\n"
+      "                     the remaining timeline; the scenario, seed and\n"
+      "                     every result-affecting option come from the\n"
+      "                     file, so the final report is byte-identical to\n"
+      "                     the straight-through run's. --threads, --json,\n"
+      "                     --csv, --trace and --progress still apply\n";
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -364,6 +389,14 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "--trace", &value)) {
       opt.trace_out = value;
+    } else if (ParseFlag(argv[i], "--checkpoint-at", &value)) {
+      std::uint64_t at = 0;
+      if (!ParseUint64Flag("--checkpoint-at", value, &at)) return std::nullopt;
+      opt.checkpoint_at = at;
+    } else if (ParseFlag(argv[i], "--checkpoint", &value)) {
+      opt.checkpoint_path = value;
+    } else if (ParseFlag(argv[i], "--resume", &value)) {
+      opt.resume_path = value;
     } else if (ParseFlag(argv[i], "--profile", &value)) {
       opt.profile_path = value;
     } else if (ParseFlag(argv[i], "--progress", &value)) {
@@ -476,9 +509,55 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
                  "combined with --arrival-sweep\n";
     return std::nullopt;
   }
-  if (opt.progress_every > 0 && opt.scenario.empty()) {
+  if (opt.progress_every > 0 && opt.scenario.empty() &&
+      opt.resume_path.empty()) {
     std::cerr << "--progress requires --scenario=NAME\n";
     return std::nullopt;
+  }
+  if (opt.checkpoint_at.has_value() && opt.checkpoint_path.empty()) {
+    std::cerr << "--checkpoint-at requires --checkpoint=FILE\n";
+    return std::nullopt;
+  }
+  if (!opt.checkpoint_path.empty() && !opt.checkpoint_at.has_value()) {
+    std::cerr << "--checkpoint requires --checkpoint-at=CYCLE\n";
+    return std::nullopt;
+  }
+  if (opt.checkpoint_at.has_value() && opt.scenario.empty() &&
+      opt.resume_path.empty()) {
+    std::cerr << "--checkpoint-at requires --scenario=NAME or --resume=FILE\n";
+    return std::nullopt;
+  }
+  if (opt.checkpoint_at.has_value() && opt.arrival_sweep.has_value()) {
+    std::cerr << "--checkpoint-at covers a single run; it cannot be combined "
+                 "with --arrival-sweep\n";
+    return std::nullopt;
+  }
+  if (!opt.resume_path.empty()) {
+    if (!opt.scenario.empty()) {
+      std::cerr << "--resume reads the scenario from the snapshot; drop "
+                   "--scenario\n";
+      return std::nullopt;
+    }
+    if (opt.arrival_rate.has_value() || opt.arrival_sweep.has_value()) {
+      std::cerr << "--resume restores the run's arrival process from the "
+                   "snapshot; drop --arrival-rate/--arrival-sweep\n";
+      return std::nullopt;
+    }
+    if (opt.latency.has_value()) {
+      std::cerr << "--resume restores the run's latency model from the "
+                   "snapshot; drop --latency/--loss\n";
+      return std::nullopt;
+    }
+    if (opt.converge > 0) {
+      std::cerr << "--converge applies to the classic pipeline, not "
+                   "--resume\n";
+      return std::nullopt;
+    }
+    if (!opt.trace_path.empty()) {
+      std::cerr << "--resume regenerates the snapshot's synthetic trace; "
+                   "--input-trace is not supported\n";
+      return std::nullopt;
+    }
   }
   return opt;
 }
@@ -508,6 +587,9 @@ p3q::ScenarioRunnerOptions MakeRunnerOptions(const Options& opt) {
   options.threads = opt.threads;
   options.latency = opt.latency;  // unset = the scenario's own model
   options.progress_every = opt.progress_every;
+  options.checkpoint_at = opt.checkpoint_at;
+  options.checkpoint_path = opt.checkpoint_path;
+  options.resume_path = opt.resume_path;
   return options;
 }
 
@@ -592,6 +674,11 @@ int RunScenarioMode(const Options& opt) {
   if (opt.arrival_rate.has_value()) {
     options.arrivals = OverrideArrivals(scenario, *opt.arrival_rate);
   }
+  if (!opt.resume_path.empty()) {
+    // The arrival override of the original run, read from the snapshot.
+    options.arrivals = opt.resume_arrivals;
+    std::cout << "resuming from: " << opt.resume_path << "\n";
+  }
   std::cout << "scenario: " << scenario.name << " — " << scenario.description
             << "\nusers: " << opt.users << ", seed: " << opt.seed
             << ", cycle scale: " << opt.cycle_scale;
@@ -610,6 +697,9 @@ int RunScenarioMode(const Options& opt) {
   ScenarioReport report;
   try {
     report = RunScenario(scenario, options);
+  } catch (const CheckpointError& e) {
+    std::cerr << "checkpoint error: " << e.what() << "\n";
+    return 1;
   } catch (const std::invalid_argument& e) {
     std::cerr << "invalid configuration: " << e.what() << "\n";
     return 1;
@@ -806,6 +896,34 @@ int main(int argc, char** argv) {
       std::cout << name << "\t" << p3q::ScenarioDescription(name) << "\n";
     }
     return 0;
+  }
+  if (!opt.resume_path.empty()) {
+    // Reconstruct the original run from the snapshot's identity header; the
+    // runner re-verifies every field against the payload it restores.
+    try {
+      const p3q::CheckpointRunInfo info =
+          p3q::ReadScenarioCheckpointInfo(opt.resume_path);
+      if (!p3q::HasScenario(info.scenario)) {
+        std::cerr << "cannot resume: checkpoint names unknown scenario '"
+                  << info.scenario << "' (see --list-scenarios)\n";
+        return 1;
+      }
+      opt.scenario = info.scenario;
+      opt.users = info.users;
+      opt.seed = info.seed;
+      opt.cycle_scale = info.cycle_scale;
+      opt.network_size = info.network_size;
+      opt.stored = info.stored_profiles;
+      opt.alpha = info.alpha;
+      opt.top_k = info.top_k;
+      opt.similarity = info.similarity;
+      opt.latency = info.latency;
+      opt.resume_arrivals = info.arrivals;
+    } catch (const p3q::CheckpointError& e) {
+      std::cerr << "cannot resume: " << e.what() << "\n";
+      return 1;
+    }
+    return RunScenarioMode(opt);
   }
   if (!opt.scenario.empty()) {
     return opt.arrival_sweep.has_value() ? RunSweepMode(opt)
