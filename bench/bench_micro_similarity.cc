@@ -9,12 +9,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/cpu_features.h"
 #include "common/random.h"
 #include "dataset/generator.h"
 #include "profile/profile.h"
 #include "profile/score_kernel.h"
+#include "profile/score_kernel_simd.h"
 
 namespace {
 
@@ -138,6 +142,48 @@ void BM_SkewedKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_SkewedKernel);
 
+/// One BM_PaperBatchedPairs leg pinned to a specific SIMD lane; registered
+/// per usable lane from main() so the trajectory harness can record each
+/// lane's pairs/sec side by side regardless of P3Q_SIMD.
+void PaperBatchedPairsLane(benchmark::State& state, p3q::SimdLane lane) {
+  const PaperBatch& fixture = SharedPaperBatch();
+  std::vector<p3q::PairSimilarity> out(fixture.candidates.size());
+  const p3q::SimdLane previous = p3q::SetSimdLane(lane);
+  for (auto _ : state) {
+    p3q::KernelPairSimilarityBatch(*fixture.base, fixture.candidates.data(),
+                                   fixture.candidates.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  p3q::SetSimdLane(previous);
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(fixture.candidates.size()));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): prints the detected CPU features
+// and the active kernel lane (stderr + benchmark context, so both humans
+// and the JSON reader can attribute recorded numbers to hardware), then
+// registers one BM_PaperBatchedPairs leg per usable SIMD lane.
+int main(int argc, char** argv) {
+  const p3q::CpuFeatures& features = p3q::HostCpuFeatures();
+  const std::string features_text = p3q::CpuFeaturesToString(features);
+  const char* active = p3q::SimdLaneName(p3q::ActiveSimdLane());
+  std::fprintf(stderr, "p3q: cpu features: %s\n", features_text.c_str());
+  std::fprintf(stderr, "p3q: active simd lane: %s\n", active);
+  benchmark::AddCustomContext("p3q_cpu_features", features_text);
+  benchmark::AddCustomContext("p3q_simd_lane", active);
+  for (const p3q::SimdLane lane : p3q::UsableSimdLanes()) {
+    const std::string name =
+        std::string("BM_PaperBatchedPairs/") + p3q::SimdLaneName(lane);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [lane](benchmark::State& state) { PaperBatchedPairsLane(state, lane); });
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker for README.md and docs/.
+
+Scans the repo's top-level README.md plus every markdown file under docs/
+for inline links and validates the ones that point inside the repository:
+
+  * relative file links must resolve to an existing file or directory
+    (relative to the file containing the link);
+  * `#fragment` parts — both `file.md#anchor` and same-file `#anchor` —
+    must match a heading in the target file, using GitHub's slug rules
+    (lowercase, punctuation stripped, spaces to hyphens);
+  * absolute URLs (http/https/mailto) are skipped — this gate is about the
+    repo's own structure staying internally consistent, not the internet.
+
+Exit status is non-zero when any link is broken, with one line per
+offender. Stdlib only.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Inline links: [text](target). Images ![alt](target) match too, which is
+# what we want. Reference-style links are rare in this repo and skipped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path):
+    """The set of anchor slugs a markdown file exposes (fences excluded)."""
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slug = github_slug(match.group(2))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def markdown_links(path):
+    """Yields (line_number, target) for every inline link, fences excluded."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def check_file(md_path, repo_root, anchor_cache):
+    errors = []
+    base_dir = os.path.dirname(md_path)
+    for lineno, target in markdown_links(md_path):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base_dir, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{md_path}:{lineno}: broken link "
+                              f"'{target}' -> {resolved} does not exist")
+                continue
+        else:
+            resolved = md_path
+        if fragment and resolved.endswith(".md") and os.path.isfile(resolved):
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(resolved)
+            if fragment.lower() not in anchor_cache[resolved]:
+                errors.append(f"{md_path}:{lineno}: broken anchor "
+                              f"'{target}' — no heading '#{fragment}' in "
+                              f"{os.path.relpath(resolved, repo_root)}")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    targets = []
+    readme = os.path.join(root, "README.md")
+    if os.path.isfile(readme):
+        targets.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                targets.append(os.path.join(docs_dir, name))
+    if not targets:
+        sys.stderr.write("no README.md or docs/*.md found under "
+                         f"{root}\n")
+        return 2
+
+    anchor_cache = {}
+    errors = []
+    checked = 0
+    for path in targets:
+        checked += 1
+        errors.extend(check_file(path, root, anchor_cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): "
+          f"{'FAILED, ' + str(len(errors)) + ' broken link(s)' if errors else 'all intra-repo links resolve'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,14 +118,20 @@ def measure_scenario(sim, name, users, seed):
     return snapshot
 
 
+SIMD_LANES = ["scalar", "avx2", "avx512"]
+
+
 def measure_similarity_kernel(bench):
     """pairs/sec of the scalar vs batched scoring kernel, or None.
 
     Runs bench_micro_similarity's Paper* benchmarks (one node's profile
     against a gossip-sized candidate batch from a delicious-like trace) and
-    reports items_per_second — pairs/sec — for both paths. Recorded for the
-    trajectory, never gated: absolute numbers depend on the runner, and the
-    kernels are exactness-tested by tests/score_kernel_test.cc.
+    reports items_per_second — pairs/sec — for the reference per-pair path,
+    the batched kernel under the auto-dispatched lane, and one
+    BM_PaperBatchedPairs/<lane> leg per SIMD lane the host can run (the
+    binary registers those itself from runtime CPU detection). Recorded for
+    the trajectory, never gated: absolute numbers depend on the runner, and
+    the lanes are exactness-tested by tests/score_kernel_test.cc.
     """
     if not bench or not os.path.exists(bench):
         print("bench_micro_similarity not available; skipping kernel "
@@ -149,11 +155,20 @@ def measure_similarity_kernel(bench):
         sys.stderr.write("Paper* benchmarks missing from "
                          f"bench_micro_similarity output: {sorted(rates)}\n")
         sys.exit(2)
-    return {
+    context = report.get("context", {})
+    kernel = {
         "scalar_pairs_per_sec": scalar,
         "batched_pairs_per_sec": batched,
         "batched_speedup": batched / scalar if scalar else 0.0,
+        "cpu_features": context.get("p3q_cpu_features", ""),
+        "auto_simd_lane": context.get("p3q_simd_lane", ""),
+        "lanes": {},
     }
+    for lane in SIMD_LANES:
+        rate = rates.get(f"BM_PaperBatchedPairs/{lane}")
+        if rate is not None:
+            kernel["lanes"][lane] = rate
+    return kernel
 
 
 def measure_serving(sim, users, seed):
@@ -264,7 +279,9 @@ def append_trajectory(path, sha, bench):
               "total_messages", "total_bytes", "wall_seconds",
               "cycles_per_sec", "user_cycles_per_sec", "lag_p50", "lag_p95",
               "dropped", "cycles_to_convergence", "pairs_per_sec_scalar",
-              "pairs_per_sec_batched", "kernel_speedup", "ql_p50", "ql_p95",
+              "pairs_per_sec_batched", "kernel_speedup", "simd_lane",
+              "pairs_per_sec_lane_scalar", "pairs_per_sec_lane_avx2",
+              "pairs_per_sec_lane_avx512", "ql_p50", "ql_p95",
               "ql_p99", "slo_queries_per_sec", "plan_seconds",
               "barrier_seconds", "commit_seconds", "shard_imbalance_mean",
               "shard_imbalance_max", "ckpt_bytes", "ckpt_save_seconds",
@@ -296,12 +313,17 @@ def append_trajectory(path, sha, bench):
             })
         kernel = bench.get("similarity_kernel")
         if kernel is not None:
+            lanes = kernel.get("lanes", {})
             writer.writerow({
                 "git_sha": sha, "kind": "similarity-kernel",
                 "name": "paper-scale-batch",
                 "pairs_per_sec_scalar": kernel["scalar_pairs_per_sec"],
                 "pairs_per_sec_batched": kernel["batched_pairs_per_sec"],
                 "kernel_speedup": kernel["batched_speedup"],
+                "simd_lane": kernel.get("auto_simd_lane", ""),
+                "pairs_per_sec_lane_scalar": lanes.get("scalar", ""),
+                "pairs_per_sec_lane_avx2": lanes.get("avx2", ""),
+                "pairs_per_sec_lane_avx512": lanes.get("avx512", ""),
             })
         serving = bench.get("serving")
         if serving is not None:
@@ -389,6 +411,8 @@ def main():
               f"{kernel['scalar_pairs_per_sec']:,.0f} pairs/s, batched "
               f"{kernel['batched_pairs_per_sec']:,.0f} pairs/s "
               f"({kernel['batched_speedup']:.2f}x) — recorded, not gated")
+        for lane, rate in kernel.get("lanes", {}).items():
+            print(f"  batched[{lane}]: {rate:,.0f} pairs/s")
     serving = bench["serving"]
     print(f"serving ({serving['scenario']}): latency p50/p95/p99 "
           f"{serving['latency_p50']:.1f}/{serving['latency_p95']:.1f}/"

@@ -4,47 +4,15 @@
 #include <bit>
 
 #include "profile/profile.h"
+#include "profile/score_kernel_internal.h"
+#include "profile/score_kernel_simd.h"
 
 namespace p3q {
 namespace {
 
-/// First index >= `from` with arr[index] >= target, by exponential probe +
-/// binary search. O(log distance) instead of O(distance).
-std::size_t GallopTo(const std::uint64_t* arr, std::size_t n, std::size_t from,
-                     std::uint64_t target) {
-  std::size_t step = 1;
-  std::size_t lo = from;
-  while (lo + step < n && arr[lo + step] < target) {
-    lo += step;
-    step <<= 1;
-  }
-  const std::size_t hi = std::min(n, lo + step + 1);
-  return static_cast<std::size_t>(
-      std::lower_bound(arr + lo, arr + hi, target) - arr);
-}
-
-/// Merge-intersects two aligned (blocks, words) arrays, AND-ing words of
-/// matching blocks. The merge advances branchlessly on mismatches.
-std::size_t IntersectBlocksMerge(const std::uint64_t* ab,
-                                 const std::uint64_t* aw, std::size_t na,
-                                 const std::uint64_t* bb,
-                                 const std::uint64_t* bw, std::size_t nb) {
-  std::size_t count = 0;
-  std::size_t i = 0, j = 0;
-  while (i < na && j < nb) {
-    const std::uint64_t x = ab[i];
-    const std::uint64_t y = bb[j];
-    if (x == y) {
-      count += static_cast<std::size_t>(std::popcount(aw[i] & bw[j]));
-      ++i;
-      ++j;
-    } else {
-      i += x < y;
-      j += y < x;
-    }
-  }
-  return count;
-}
+using kernel_detail::AccumulateBlock;
+using kernel_detail::GallopTo;
+using kernel_detail::IntersectBlocksMergeScalar;
 
 /// Galloping variant: for every block of the (smaller) a side, locate the
 /// block in the (larger) b side.
@@ -63,46 +31,21 @@ std::size_t IntersectBlocksGallop(const std::uint64_t* ab,
   return count;
 }
 
-/// Exact number of equal keys in two sorted unique action runs (the runs of
-/// one common item — typically a handful of actions each).
-std::uint64_t MergeRuns(const ActionKey* a, std::uint32_t na,
-                        const ActionKey* b, std::uint32_t nb) {
-  std::uint64_t count = 0;
-  std::uint32_t i = 0, j = 0;
-  while (i < na && j < nb) {
-    const ActionKey x = a[i];
-    const ActionKey y = b[j];
-    count += x == y;
-    i += x <= y;
-    j += y <= x;
-  }
-  return count;
-}
-
-/// Accumulates one matched item block into the pair statistics: AND the two
-/// words, then rank-select every surviving bit into both sides' per-item
-/// count/offset arrays and merge the two action runs for the exact score.
-void AccumulateBlock(const ScoreIndex& ia, const std::vector<ActionKey>& va,
-                     std::size_t i, const ScoreIndex& ib,
-                     const std::vector<ActionKey>& vb, std::size_t j,
-                     PairSimilarity* sim) {
-  const std::uint64_t aw = ia.items.words[i];
-  const std::uint64_t bw = ib.items.words[j];
-  std::uint64_t both = aw & bw;
-  while (both != 0) {
-    const int bit = std::countr_zero(both);
-    both &= both - 1;
-    const std::uint64_t below = (std::uint64_t{1} << bit) - 1;
-    const std::uint32_t ai =
-        ia.item_rank[i] + static_cast<std::uint32_t>(std::popcount(aw & below));
-    const std::uint32_t bi =
-        ib.item_rank[j] + static_cast<std::uint32_t>(std::popcount(bw & below));
-    ++sim->common_items;
-    sim->a_actions_on_common += ia.item_counts[ai];
-    sim->b_actions_on_common += ib.item_counts[bi];
-    sim->score += MergeRuns(va.data() + ia.item_offsets[ai],
-                            ia.item_counts[ai], vb.data() + ib.item_offsets[bi],
-                            ib.item_counts[bi]);
+/// The block-merge intersection through the active SIMD lane; every lane
+/// returns exactly the scalar merge's count.
+std::size_t DispatchBlocksMerge(const std::uint64_t* ab,
+                                const std::uint64_t* aw, std::size_t na,
+                                const std::uint64_t* bb,
+                                const std::uint64_t* bw, std::size_t nb) {
+  switch (ActiveSimdLane()) {
+#ifdef P3Q_SCORE_KERNEL_SIMD_X86
+    case SimdLane::kAvx2:
+      return Avx2IntersectBlocksMerge(ab, aw, na, bb, bw, nb);
+    case SimdLane::kAvx512:
+      return Avx512IntersectBlocksMerge(ab, aw, na, bb, bw, nb);
+#endif
+    default:
+      return IntersectBlocksMergeScalar(ab, aw, na, bb, bw, nb);
   }
 }
 
@@ -189,6 +132,35 @@ ScoreIndex ScoreIndex::Build(const std::vector<ActionKey>& sorted_actions) {
     index.item_rank.push_back(rank);
     rank += static_cast<std::uint32_t>(std::popcount(word));
   }
+  const std::size_t item_count = index.item_counts.size();
+  index.tag_sig_a.assign(item_count * 2, 0);
+  index.tag_sig_b.assign(item_count * 2, 0);
+  for (std::size_t it = 0; it < item_count; ++it) {
+    const std::uint32_t begin = index.item_offsets[it];
+    const std::uint32_t end = index.item_offsets[it + 1];
+    if (end - begin > kTagSigLanes) continue;
+    std::uint64_t sig_a[2] = {~std::uint64_t{0}, ~std::uint64_t{0}};
+    std::uint64_t sig_b[2] = {0xfffefffefffefffeULL, 0xfffefffefffefffeULL};
+    bool packable = true;
+    for (std::uint32_t o = begin; o < end; ++o) {
+      const TagId tag = ActionTag(sorted_actions[o]);
+      if (tag > kTagSigMaxTag) {
+        packable = false;
+        break;
+      }
+      const std::uint32_t lane = o - begin;
+      const std::uint64_t clear = ~(std::uint64_t{0xffff} << (16 * (lane & 3)));
+      const std::uint64_t set = static_cast<std::uint64_t>(tag)
+                                << (16 * (lane & 3));
+      sig_a[lane >> 2] = (sig_a[lane >> 2] & clear) | set;
+      sig_b[lane >> 2] = (sig_b[lane >> 2] & clear) | set;
+    }
+    if (!packable) continue;
+    index.tag_sig_a[it * 2] = sig_a[0];
+    index.tag_sig_a[it * 2 + 1] = sig_a[1];
+    index.tag_sig_b[it * 2] = sig_b[0];
+    index.tag_sig_b[it * 2 + 1] = sig_b[1];
+  }
   return index;
 }
 
@@ -200,8 +172,8 @@ std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b) {
                                  small.size(), large.blocks.data(),
                                  large.words.data(), large.size());
   }
-  return IntersectBlocksMerge(a.blocks.data(), a.words.data(), a.size(),
-                              b.blocks.data(), b.words.data(), b.size());
+  return DispatchBlocksMerge(a.blocks.data(), a.words.data(), a.size(),
+                             b.blocks.data(), b.words.data(), b.size());
 }
 
 std::size_t IntersectGalloping(const std::uint64_t* a, std::size_t na,
@@ -312,16 +284,32 @@ PairSimilarity KernelPairSimilarity(const Profile& a, const Profile& b) {
 void KernelPairSimilarityBatch(const Profile& base,
                                const Profile* const* candidates,
                                std::size_t n, PairSimilarity* out) {
-  // Below a handful of candidates the per-batch hash build costs more than
-  // it saves; past 2^20 base item blocks the hash's packed index field
-  // would overflow into the block bits (a >64M-distinct-item profile — far
-  // beyond any real trace). Both take the setup-free pair kernel instead.
+  // Below a handful of candidates the per-batch setup (dense table or hash)
+  // costs more than it saves; past 2^20 base item blocks the hash's packed
+  // index field would overflow into the block bits (a >64M-distinct-item
+  // profile — far beyond any real trace). Both take the setup-free pair
+  // kernel instead.
   if (n < kMinHashBatch || base.index().items.size() > 0xfffff) {
     for (std::size_t c = 0; c < n; ++c) {
       out[c] = KernelPairSimilarity(base, *candidates[c]);
     }
     return;
   }
+#ifdef P3Q_SCORE_KERNEL_SIMD_X86
+  // The SIMD lanes sweep a dense gather table of the base's item blocks;
+  // they decline bases whose block span is too sparse for it, in which
+  // case the portable hash path below runs regardless of lane.
+  switch (ActiveSimdLane()) {
+    case SimdLane::kAvx2:
+      if (Avx2PairSimilarityBatch(base, candidates, n, out)) return;
+      break;
+    case SimdLane::kAvx512:
+      if (Avx512PairSimilarityBatch(base, candidates, n, out)) return;
+      break;
+    default:
+      break;
+  }
+#endif
   const ScoreIndex& ib = base.index();
   const BlockHash hash(ib.items);
   for (std::size_t c = 0; c < n; ++c) {

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/types.h"
 
 namespace p3q {
@@ -61,10 +62,11 @@ struct PairSimilarity {
 
 /// A sorted key set bucketed into 64-key blocks: `blocks[i]` is a distinct
 /// key >> 6 (ascending) and `words[i]` has bit (key & 63) set for every
-/// member key of that block.
+/// member key of that block. Storage is 64-byte aligned so the SIMD lanes
+/// (score_kernel_simd.h) sweep it with aligned 256/512-bit loads.
 struct BlockBitmap {
-  std::vector<std::uint64_t> blocks;
-  std::vector<std::uint64_t> words;
+  AlignedVector<std::uint64_t> blocks;
+  AlignedVector<std::uint64_t> words;
 
   std::size_t size() const { return blocks.size(); }
 
@@ -80,6 +82,12 @@ inline constexpr std::size_t kGallopSkewRatio = 16;
 /// per-batch hash of the base's item blocks and scores pair-by-pair — for
 /// a couple of candidates the setup costs more than the probes save.
 inline constexpr std::size_t kMinHashBatch = 8;
+
+/// Tag-signature packing limits (see ScoreIndex::tag_sig_a): an item's run
+/// is packable when it has at most kTagSigLanes actions and every tag is at
+/// most kTagSigMaxTag — the two values above it are the pad sentinels.
+inline constexpr std::size_t kTagSigLanes = 8;
+inline constexpr std::uint32_t kTagSigMaxTag = 0xfffd;
 
 /// Exact |a ∩ b| of two block bitmaps (word-AND + popcount merge; galloping
 /// over the larger side when the sizes are skewed).
@@ -107,12 +115,25 @@ struct ScoreIndex {
   BlockBitmap items;
   /// Per item block: number of distinct items in earlier blocks (the
   /// rank-select base).
-  std::vector<std::uint32_t> item_rank;
+  AlignedVector<std::uint32_t> item_rank;
   /// Per distinct item (ascending): its action count, and the offset of
   /// its action run in the profile's sorted action vector. item_offsets
   /// has one trailing entry holding the total action count.
-  std::vector<std::uint32_t> item_counts;
-  std::vector<std::uint32_t> item_offsets;
+  AlignedVector<std::uint32_t> item_counts;
+  AlignedVector<std::uint32_t> item_offsets;
+  /// Per distinct item: a 128-bit *tag signature* (two u64 words, lane l =
+  /// bits [16l, 16l+16) of word l/4) holding the run's tags as 16-bit
+  /// lanes. Two copies differing only in their pad sentinel are stored —
+  /// tag_sig_a pads unused lanes with 0xffff, tag_sig_b with 0xfffe — so
+  /// intersecting an a-form against a b-form can never match a pad against
+  /// a pad or a real tag (tags are capped at kTagSigMaxTag). The SIMD
+  /// batch kernel turns a run merge into 8x8 all-pairs 16-bit compares of
+  /// the two forms. Runs with more than kTagSigLanes actions or an
+  /// oversized tag store all-zero words (impossible for a real signature:
+  /// its pads are non-zero and a full run's 8 distinct tags can't all be
+  /// zero), which tells the kernel to merge the action runs instead.
+  AlignedVector<std::uint64_t> tag_sig_a;
+  AlignedVector<std::uint64_t> tag_sig_b;
 
   /// Builds the index of a sorted unique action vector.
   static ScoreIndex Build(const std::vector<ActionKey>& sorted_actions);

@@ -15,6 +15,7 @@
 #include "dataset/generator.h"
 #include "profile/profile.h"
 #include "profile/profile_store.h"
+#include "profile/score_kernel_simd.h"
 #include "profile/similarity.h"
 #include "test_util.h"
 
@@ -161,7 +162,7 @@ TEST(ScoreKernelTest, EmptyDisjointIdentical) {
   ExpectSameAsScalar(ta, tb);
 }
 
-TEST(ScoreKernelTest, RandomizedDifferentialSweep) {
+void RunRandomizedDifferentialSweep() {
   Rng rng(123);
   for (int round = 0; round < 120; ++round) {
     const int universe = 20 + static_cast<int>(rng.NextUint64(500));
@@ -176,6 +177,10 @@ TEST(ScoreKernelTest, RandomizedDifferentialSweep) {
     EXPECT_EQ(KernelSharesItem(a, b),
               !a.CommonItems(b).empty());
   }
+}
+
+TEST(ScoreKernelTest, RandomizedDifferentialSweep) {
+  RunRandomizedDifferentialSweep();
 }
 
 TEST(ScoreKernelTest, SkewedPairsTakeTheGallopingPathExactly) {
@@ -197,19 +202,9 @@ TEST(ScoreKernelTest, SkewedPairsTakeTheGallopingPathExactly) {
   EXPECT_EQ(KernelPairSimilarity(sub, huge).score, sub.Length());
 }
 
-TEST(ScoreKernelTest, BatchMatchesPerPairKernel) {
-  Rng rng(77);
-  const Profile base = RandomProfile(1, 150, 300, 40, 1);
-  std::vector<std::unique_ptr<Profile>> owned;
-  std::vector<const Profile*> candidates;
-  for (int i = 0; i < 40; ++i) {
-    // Mix of regular, empty, disjoint and skew-triggering candidates.
-    const int n = i % 7 == 0 ? 0 : (i % 5 == 0 ? 4000 : 80);
-    owned.push_back(std::make_unique<Profile>(RandomProfile(
-        static_cast<UserId>(i + 2), n, i % 3 == 0 ? 1 << 18 : 300, 40,
-        rng.NextUint64(1u << 30))));
-    candidates.push_back(owned.back().get());
-  }
+/// Batch-vs-scalar check of `base` against `candidates`.
+void ExpectBatchMatchesScalar(const Profile& base,
+                              const std::vector<const Profile*>& candidates) {
   std::vector<PairSimilarity> batched(candidates.size());
   KernelPairSimilarityBatch(base, candidates.data(), candidates.size(),
                             batched.data());
@@ -224,24 +219,139 @@ TEST(ScoreKernelTest, BatchMatchesPerPairKernel) {
   }
 }
 
-TEST(ScoreKernelTest, BatchOnRealTraceProfiles) {
+void RunBatchMatchesPerPairKernel() {
+  Rng rng(77);
+  const Profile base = RandomProfile(1, 150, 300, 40, 1);
+  std::vector<std::unique_ptr<Profile>> owned;
+  std::vector<const Profile*> candidates;
+  for (int i = 0; i < 40; ++i) {
+    // Mix of regular, empty, disjoint and skew-triggering candidates.
+    const int n = i % 7 == 0 ? 0 : (i % 5 == 0 ? 4000 : 80);
+    owned.push_back(std::make_unique<Profile>(RandomProfile(
+        static_cast<UserId>(i + 2), n, i % 3 == 0 ? 1 << 18 : 300, 40,
+        rng.NextUint64(1u << 30))));
+    candidates.push_back(owned.back().get());
+  }
+  ExpectBatchMatchesScalar(base, candidates);
+}
+
+TEST(ScoreKernelTest, BatchMatchesPerPairKernel) {
+  RunBatchMatchesPerPairKernel();
+}
+
+void RunBatchOnRealTraceProfiles() {
   const SyntheticTrace trace =
       GenerateSyntheticTrace(SyntheticConfig::DeliciousLike(120), 9);
   const ProfileStore store = trace.dataset().BuildProfileStore();
   const Profile& base = *store.Get(0);
   std::vector<const Profile*> candidates;
   for (UserId u = 1; u < 120; ++u) candidates.push_back(store.Get(u).get());
-  std::vector<PairSimilarity> batched(candidates.size());
-  KernelPairSimilarityBatch(base, candidates.data(), candidates.size(),
-                            batched.data());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const PairSimilarity scalar = ComputePairSimilarity(base, *candidates[i]);
-    EXPECT_EQ(batched[i].score, scalar.score);
-    EXPECT_EQ(batched[i].common_items, scalar.common_items);
-    EXPECT_EQ(batched[i].a_actions_on_common, scalar.a_actions_on_common);
-    EXPECT_EQ(batched[i].b_actions_on_common, scalar.b_actions_on_common);
-  }
+  ExpectBatchMatchesScalar(base, candidates);
 }
+
+TEST(ScoreKernelTest, BatchOnRealTraceProfiles) { RunBatchOnRealTraceProfiles(); }
+
+// ---------------------------------------------------------------------------
+// Lane-parameterized differential suite: the same checks must hold with the
+// kernel pinned to every usable SIMD lane (including forced scalar), since
+// the dispatch contract is that all lanes are bit-identical.
+// ---------------------------------------------------------------------------
+
+class ScoreKernelLaneTest : public ::testing::TestWithParam<SimdLane> {
+ protected:
+  void SetUp() override { previous_ = SetSimdLane(GetParam()); }
+  void TearDown() override { SetSimdLane(previous_); }
+
+ private:
+  SimdLane previous_ = SimdLane::kScalar;
+};
+
+TEST_P(ScoreKernelLaneTest, RandomizedDifferentialSweep) {
+  RunRandomizedDifferentialSweep();
+}
+
+TEST_P(ScoreKernelLaneTest, BatchMatchesPerPairKernel) {
+  RunBatchMatchesPerPairKernel();
+}
+
+TEST_P(ScoreKernelLaneTest, BatchOnRealTraceProfiles) {
+  RunBatchOnRealTraceProfiles();
+}
+
+/// Runs the tag-signature fallbacks: items whose runs are too long to pack
+/// (> kTagSigLanes actions) or whose tags collide with the u16 pad
+/// sentinels (> kTagSigMaxTag, including 0xfffe/0xffff exactly) must take
+/// the scalar run merge inside the SIMD batch and still be exact.
+TEST_P(ScoreKernelLaneTest, UnpackableRunsFallBackExactly) {
+  auto mixed_profile = [](UserId owner, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ActionKey> actions;
+    for (ItemId item = 0; item < 64; ++item) {
+      switch (static_cast<int>(rng.NextUint64(4))) {
+        case 0:  // packable: short run, small tags
+          for (int t = 0; t < 3; ++t) {
+            actions.push_back(MakeAction(item, static_cast<TagId>(t * 7)));
+          }
+          break;
+        case 1:  // count-unpackable: more than kTagSigLanes actions
+          for (int t = 0; t < static_cast<int>(kTagSigLanes) + 3; ++t) {
+            actions.push_back(MakeAction(item, static_cast<TagId>(t)));
+          }
+          break;
+        case 2:  // tag-unpackable: tags above the packable cap
+          actions.push_back(MakeAction(item, kTagSigMaxTag + 1));
+          actions.push_back(
+              MakeAction(item, static_cast<TagId>(0x10000 + item)));
+          break;
+        default:  // the pad sentinel values themselves as real tags
+          actions.push_back(MakeAction(item, 0xfffe));
+          actions.push_back(MakeAction(item, 0xffff));
+          actions.push_back(MakeAction(item, kTagSigMaxTag));
+          break;
+      }
+    }
+    return Profile(owner, std::move(actions), 0, /*digest_bits=*/1024);
+  };
+  const Profile base = mixed_profile(1, 5);
+  std::vector<std::unique_ptr<Profile>> owned;
+  std::vector<const Profile*> candidates;
+  for (int i = 0; i < 16; ++i) {
+    owned.push_back(std::make_unique<Profile>(
+        mixed_profile(static_cast<UserId>(i + 2), 100 + i)));
+    candidates.push_back(owned.back().get());
+  }
+  ExpectBatchMatchesScalar(base, candidates);
+  ExpectSameAsScalar(base, *candidates[0]);
+}
+
+/// A base whose item blocks span far more than kMaxDenseSpan: the SIMD
+/// lanes must decline the dense sweep and the portable hash path must
+/// produce the same exact counts.
+TEST_P(ScoreKernelLaneTest, SparseBaseDeclinesDenseTable) {
+  const Profile base = RandomProfile(1, 200, 1 << 24, 12, 31);
+  ASSERT_GT(base.index().items.blocks.back() - base.index().items.blocks[0],
+            kMaxDenseSpan);
+  std::vector<std::unique_ptr<Profile>> owned;
+  std::vector<const Profile*> candidates;
+  Rng rng(32);
+  for (int i = 0; i < 12; ++i) {
+    // Subsets of the base guarantee overlap even in the huge universe.
+    std::vector<ActionKey> subset;
+    for (const ActionKey key : base.actions()) {
+      if (rng.NextUint64(3) == 0) subset.push_back(key);
+    }
+    owned.push_back(std::make_unique<Profile>(
+        Profile(static_cast<UserId>(i + 2), std::move(subset), 0, 1024)));
+    candidates.push_back(owned.back().get());
+  }
+  ExpectBatchMatchesScalar(base, candidates);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLanes, ScoreKernelLaneTest, ::testing::ValuesIn(UsableSimdLanes()),
+    [](const ::testing::TestParamInfo<SimdLane>& info) {
+      return std::string(SimdLaneName(info.param));
+    });
 
 // ---------------------------------------------------------------------------
 // P3QSystem::PairInfoBatch — the lock-striped cache's batched lookup.
@@ -338,6 +448,27 @@ std::uint64_t NetworksDigest(P3QSystem& system) {
     }
   }
   return h;
+}
+
+TEST(ScoreKernelSystemTest, LazyConvergenceIdenticalAcrossSimdLanes) {
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (const SimdLane lane : UsableSimdLanes()) {
+    const SimdLane previous = SetSimdLane(lane);
+    SyntheticTrace trace = test::SmallTrace(80, 13);
+    P3QSystem system(trace.dataset(), test::SmallConfig(), {}, 13);
+    system.SetThreads(2);
+    system.BootstrapRandomViews();
+    system.RunLazyCycles(15);
+    const std::uint64_t digest = NetworksDigest(system);
+    SetSimdLane(previous);
+    if (!have_reference) {
+      reference = digest;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(digest, reference) << SimdLaneName(lane) << " diverged";
+    }
+  }
 }
 
 TEST(ScoreKernelSystemTest, LazyConvergenceIdenticalAcrossMetricsAndThreads) {
