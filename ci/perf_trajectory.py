@@ -7,7 +7,9 @@ bench_micro_similarity scoring benchmark (scalar vs batched kernel
 pairs/sec), runs the open-loop-steady serving scenario (query-latency
 p50/p95/p99 and queries/sec completed within the SLO), measures the
 checkpoint/resume leg (snapshot size, save/resume wall time, and a hard
-byte-identity check of straight vs checkpoint+resume reports), and emits:
+byte-identity check of straight vs checkpoint+resume reports), records each
+scenario leg's peak RSS (os.wait4 rusage of the child) plus the arena
+footprint from the report's memory block, and emits:
 
   * BENCH_pr.json        — the run's structured perf snapshot (scenario
                            wall-clock/throughput, engine phase timings with
@@ -17,15 +19,18 @@ byte-identity check of straight vs checkpoint+resume reports), and emits:
                            goodput);
   * bench-trajectory.csv — one appended row per measurement, tagged with the
                            git SHA, so artifact history forms a trajectory;
-  * an exit status       — non-zero when cycles-to-convergence regressed
-                           more than --regression-threshold (default 10%)
-                           against the checked-in BENCH_baseline.json.
+  * an exit status       — non-zero when cycles-to-convergence OR a
+                           scenario leg's peak RSS regressed more than
+                           --regression-threshold (default 10%) against the
+                           checked-in BENCH_baseline.json.
 
 Convergence cycle counts are deterministic in (users, seed, latency) and
 thread-count independent (the engine's ForkStream contract), which is what
-makes a checked-in integer baseline gateable. Wall-clock and pairs/sec
-throughput are recorded for the trajectory but never gated — they depend on
-the runner.
+makes a checked-in integer baseline gateable. Peak RSS is allocation-driven
+and near-deterministic at fixed (users, seed) — the slab arenas bound the
+profile footprint — so it is gated too (with the same fractional headroom
+absorbing allocator noise). Wall-clock and pairs/sec throughput are
+recorded for the trajectory but never gated — they depend on the runner.
 
 Stdlib only; no dependencies beyond python3, the p3q_sim binary and
 (optionally) the bench_micro_similarity binary.
@@ -47,12 +52,42 @@ CONVERGENCE_MODELS = ["zero", "fixed:2"]
 
 
 def run_sim(sim, args):
+    out, _ = run_sim_rss(sim, args)
+    return out
+
+
+def run_sim_rss(sim, args):
+    """Runs the sim and returns (stdout, peak_rss_mb of the child).
+
+    Peak RSS comes from os.wait4's rusage (ru_maxrss: KiB on Linux, bytes
+    on macOS), so it covers the whole child lifetime — setup included —
+    unlike the in-report figure, which is sampled at report time. Falls
+    back to plain subprocess.run (rss None) where wait4 is unavailable.
+    """
     cmd = [sim] + args
-    result = subprocess.run(cmd, capture_output=True, text=True)
-    if result.returncode != 0:
-        sys.stderr.write(f"FAILED: {' '.join(cmd)}\n{result.stdout}{result.stderr}\n")
+    if not hasattr(os, "wait4"):
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            sys.stderr.write(
+                f"FAILED: {' '.join(cmd)}\n{result.stdout}{result.stderr}\n")
+            sys.exit(2)
+        return result.stdout, None
+    with tempfile.TemporaryFile(mode="w+") as out_f, \
+            tempfile.TemporaryFile(mode="w+") as err_f:
+        proc = subprocess.Popen(cmd, stdout=out_f, stderr=err_f, text=True)
+        _, status, rusage = os.wait4(proc.pid, 0)
+        # The child is already reaped; keep the Popen object consistent so
+        # its destructor does not wait again.
+        proc.returncode = os.waitstatus_to_exitcode(status)
+        out_f.seek(0)
+        err_f.seek(0)
+        stdout = out_f.read()
+        stderr = err_f.read()
+    if proc.returncode != 0:
+        sys.stderr.write(f"FAILED: {' '.join(cmd)}\n{stdout}{stderr}\n")
         sys.exit(2)
-    return result.stdout
+    divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+    return stdout, rusage.ru_maxrss / divisor
 
 
 def profile_rollup(profile):
@@ -83,9 +118,10 @@ def measure_scenario(sim, name, users, seed):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         profile_path = tmp.name
     try:
-        run_sim(sim, [f"--scenario={name}", f"--users={users}", f"--seed={seed}",
-                      "--timing", f"--json={json_path}",
-                      f"--profile={profile_path}"])
+        _, peak_rss_mb = run_sim_rss(
+            sim, [f"--scenario={name}", f"--users={users}", f"--seed={seed}",
+                  "--timing", f"--json={json_path}",
+                  f"--profile={profile_path}"])
         with open(json_path) as f:
             report = json.load(f)
         with open(profile_path) as f:
@@ -107,6 +143,18 @@ def measure_scenario(sim, name, users, seed):
         "cycles_per_sec": timing["cycles_per_sec"],
         "user_cycles_per_sec": timing["user_cycles_per_sec"],
     }
+    memory = totals.get("memory")
+    if memory is not None:
+        # Prefer the wait4 measurement (whole child lifetime); the
+        # in-report figure is the fallback where wait4 is unavailable.
+        if peak_rss_mb is None:
+            peak_rss_mb = memory["peak_rss_mb"]
+        snapshot["arena_used_mb"] = memory["arena_used_bytes"] / (1 << 20)
+        snapshot["arena_reserved_mb"] = memory["arena_reserved_bytes"] / (1 << 20)
+        snapshot["arena_slabs"] = memory["arena_slabs"]
+        snapshot["arena_live_blocks"] = memory["arena_live_blocks"]
+    if peak_rss_mb is not None:
+        snapshot["peak_rss_mb"] = peak_rss_mb
     snapshot.update(profile_rollup(profile))
     delivery = totals.get("delivery")
     if delivery is not None:
@@ -285,7 +333,8 @@ def append_trajectory(path, sha, bench):
               "ql_p99", "slo_queries_per_sec", "plan_seconds",
               "barrier_seconds", "commit_seconds", "shard_imbalance_mean",
               "shard_imbalance_max", "ckpt_bytes", "ckpt_save_seconds",
-              "ckpt_resume_seconds"]
+              "ckpt_resume_seconds", "peak_rss_mb", "arena_used_mb",
+              "arena_reserved_mb"]
     new_file = not os.path.exists(path) or os.path.getsize(path) == 0
     with open(path, "a", newline="") as f:
         writer = csv.DictWriter(f, fieldnames=fields)
@@ -310,6 +359,9 @@ def append_trajectory(path, sha, bench):
                 "commit_seconds": s["commit_seconds"],
                 "shard_imbalance_mean": s["shard_imbalance_mean"],
                 "shard_imbalance_max": s["shard_imbalance_max"],
+                "peak_rss_mb": s.get("peak_rss_mb", ""),
+                "arena_used_mb": s.get("arena_used_mb", ""),
+                "arena_reserved_mb": s.get("arena_reserved_mb", ""),
             })
         kernel = bench.get("similarity_kernel")
         if kernel is not None:
@@ -430,6 +482,11 @@ def main():
     if args.write_baseline:
         new_baseline = dict(baseline)
         new_baseline["convergence"] = bench["convergence"]
+        new_baseline["peak_rss_mb"] = {
+            name: round(s["peak_rss_mb"], 1)
+            for name, s in bench["scenarios"].items()
+            if "peak_rss_mb" in s
+        }
         with open(args.write_baseline, "w") as f:
             json.dump(new_baseline, f, indent=2)
             f.write("\n")
@@ -450,6 +507,22 @@ def main():
             failures.append(model)
         print(f"convergence[{model}]: baseline {base_cycles}, "
               f"measured {measured} -> {status}")
+    # Peak RSS gate: the memory path's ratchet. Same fractional headroom as
+    # convergence; absolute MB at fixed (users, seed) is allocation-driven,
+    # so >threshold growth means the profile/index memory path regressed.
+    for name, base_rss in baseline.get("peak_rss_mb", {}).items():
+        measured = bench["scenarios"].get(name, {}).get("peak_rss_mb")
+        limit = base_rss * (1.0 + args.regression_threshold)
+        status = "ok"
+        if measured is None:
+            status = "NOT MEASURED"
+            failures.append(f"peak_rss[{name}]")
+        elif measured > limit:
+            status = f"REGRESSED (limit {limit:.1f} MB)"
+            failures.append(f"peak_rss[{name}]")
+        measured_str = f"{measured:.1f}" if measured is not None else "n/a"
+        print(f"peak_rss[{name}]: baseline {base_rss} MB, "
+              f"measured {measured_str} MB -> {status}")
     if failures:
         print(f"perf gate FAILED for: {', '.join(failures)}", file=sys.stderr)
         return 1

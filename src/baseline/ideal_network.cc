@@ -1,22 +1,26 @@
 #include "baseline/ideal_network.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
+
+#include "common/random.h"
+#include "profile/score_kernel.h"
 
 namespace p3q {
 namespace {
 
 /// Shared kernel: per-user top-s similarity lists from per-user action sets.
 IdealNetworks ComputeFromActions(
-    const std::vector<const std::vector<ActionKey>*>& actions,
-    int network_size, SimilarityMetric metric) {
+    const std::vector<std::span<const ActionKey>>& actions, int network_size,
+    SimilarityMetric metric) {
   const std::size_t num_users = actions.size();
 
   // Inverted index: action -> users having it. Postings end up sorted by
   // user id because users are appended in id order.
   std::unordered_map<ActionKey, std::vector<std::uint32_t>> postings;
   for (std::uint32_t u = 0; u < num_users; ++u) {
-    for (ActionKey a : *actions[u]) postings[a].push_back(u);
+    for (ActionKey a : actions[u]) postings[a].push_back(u);
   }
 
   IdealNetworks ideal(num_users);
@@ -24,7 +28,7 @@ IdealNetworks ComputeFromActions(
   std::vector<std::uint32_t> touched;
   for (std::uint32_t u = 0; u < num_users; ++u) {
     touched.clear();
-    for (ActionKey a : *actions[u]) {
+    for (ActionKey a : actions[u]) {
       for (std::uint32_t v : postings[a]) {
         if (v == u) continue;
         if (counts[v]++ == 0) touched.push_back(v);
@@ -34,7 +38,7 @@ IdealNetworks ComputeFromActions(
     list.reserve(touched.size());
     for (std::uint32_t v : touched) {
       const std::uint64_t score = SimilarityScore(
-          metric, counts[v], actions[u]->size(), actions[v]->size());
+          metric, counts[v], actions[u].size(), actions[v].size());
       if (score > 0) list.emplace_back(v, score);
       counts[v] = 0;
     }
@@ -53,22 +57,75 @@ IdealNetworks ComputeFromActions(
 
 IdealNetworks ComputeIdealNetworks(const Dataset& dataset, int network_size,
                                    SimilarityMetric metric) {
-  std::vector<const std::vector<ActionKey>*> actions;
+  std::vector<std::span<const ActionKey>> actions;
   actions.reserve(dataset.NumUsers());
   for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
-    actions.push_back(&dataset.ActionsOf(u));
+    actions.push_back(dataset.ActionsOf(u));
   }
   return ComputeFromActions(actions, network_size, metric);
 }
 
 IdealNetworks ComputeIdealNetworks(const ProfileStore& store, int network_size,
                                    SimilarityMetric metric) {
-  std::vector<const std::vector<ActionKey>*> actions;
+  std::vector<std::span<const ActionKey>> actions;
   actions.reserve(store.NumUsers());
   for (UserId u = 0; u < static_cast<UserId>(store.NumUsers()); ++u) {
-    actions.push_back(&store.Get(u)->actions());
+    actions.push_back(store.Get(u)->actions());
   }
   return ComputeFromActions(actions, network_size, metric);
+}
+
+IdealNetworks ComputeIdealNetworksSampled(const ProfileStore& store,
+                                          int network_size,
+                                          std::size_t sample_size,
+                                          std::uint64_t seed,
+                                          SimilarityMetric metric) {
+  const std::size_t num_users = store.NumUsers();
+  if (sample_size >= num_users) {
+    return ComputeIdealNetworks(store, network_size, metric);
+  }
+
+  // Deterministic sample of query users, independent of the system's rng
+  // streams.
+  std::vector<UserId> all(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) all[u] = static_cast<UserId>(u);
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x1d8e4e27c47d124fULL);
+  std::vector<UserId> sample = rng.SampleWithoutReplacement(all, sample_size);
+  std::sort(sample.begin(), sample.end());
+  all.clear();
+  all.shrink_to_fit();
+
+  // Score each sampled user against every other user with the batched
+  // block-bitmap kernel — O(sample * users) pair scores, no inverted index
+  // (whose postings map is what blows up at million-user scale).
+  IdealNetworks ideal(num_users);
+  std::vector<const Profile*> others;
+  others.reserve(num_users - 1);
+  std::vector<PairSimilarity> sims;
+  for (UserId u : sample) {
+    others.clear();
+    for (UserId v = 0; v < static_cast<UserId>(num_users); ++v) {
+      if (v != u) others.push_back(store.Get(v).get());
+    }
+    sims.assign(others.size(), PairSimilarity{});
+    KernelPairSimilarityBatch(*store.Get(u), others.data(), others.size(),
+                              sims.data());
+    auto& list = ideal[u];
+    const std::size_t len_u = store.Get(u)->Length();
+    for (std::size_t k = 0; k < others.size(); ++k) {
+      const std::uint64_t score = SimilarityScore(
+          metric, sims[k].score, len_u, others[k]->Length());
+      if (score > 0) list.emplace_back(others[k]->owner(), score);
+    }
+    std::sort(list.begin(), list.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (list.size() > static_cast<std::size_t>(network_size)) {
+      list.resize(static_cast<std::size_t>(network_size));
+    }
+  }
+  return ideal;
 }
 
 }  // namespace p3q

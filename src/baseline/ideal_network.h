@@ -36,6 +36,19 @@ IdealNetworks ComputeIdealNetworks(
     const ProfileStore& store, int network_size,
     SimilarityMetric metric = SimilarityMetric::kCommonActions);
 
+/// Million-user variant: computes exact ideal networks for a deterministic
+/// sample of `sample_size` users only (drawn from `seed`, independent of
+/// the system's rng streams) and leaves every other user's list empty —
+/// AverageSuccessRatio skips empty lists, so the success ratio becomes a
+/// sampled estimate. Scoring runs through the batched block-bitmap kernel
+/// instead of the inverted index, whose postings map is what blows up at
+/// million-user scale. Falls back to the exact computation when
+/// sample_size >= NumUsers().
+IdealNetworks ComputeIdealNetworksSampled(
+    const ProfileStore& store, int network_size, std::size_t sample_size,
+    std::uint64_t seed,
+    SimilarityMetric metric = SimilarityMetric::kCommonActions);
+
 }  // namespace p3q
 
 #endif  // P3Q_BASELINE_IDEAL_NETWORK_H_

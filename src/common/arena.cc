@@ -1,0 +1,129 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <new>
+
+namespace p3q {
+namespace {
+
+/// Rounds `n` up to the arena alignment.
+constexpr std::size_t AlignUp(std::size_t n) {
+  return (n + SlabArena::kAlignment - 1) & ~(SlabArena::kAlignment - 1);
+}
+
+}  // namespace
+
+/// One contiguous allocation. The payload follows the header, padded so the
+/// first block is 64-byte aligned; each block is preceded by a 64-byte
+/// header cell whose first word points back at the slab.
+struct SlabArena::Slab {
+  std::size_t capacity = 0;   // payload bytes
+  std::size_t used = 0;       // bump offset into the payload
+  std::size_t live = 0;       // blocks not yet released
+  std::size_t live_bytes = 0; // header+payload bytes of live blocks
+  bool oversized = false;
+  unsigned char* payload = nullptr;
+};
+
+SlabArena::SlabArena(std::size_t slab_bytes)
+    : slab_bytes_(AlignUp(slab_bytes < kAlignment ? kAlignment : slab_bytes)) {}
+
+SlabArena::~SlabArena() {
+  for (Slab* slab : slabs_) {
+    ::operator delete(slab->payload, std::align_val_t{kAlignment});
+    delete slab;
+  }
+}
+
+SlabArena::Slab* SlabArena::NewSlab(std::size_t payload_bytes, bool oversized) {
+  Slab* slab = new Slab;
+  slab->capacity = payload_bytes;
+  slab->oversized = oversized;
+  slab->payload = static_cast<unsigned char*>(
+      ::operator new(payload_bytes, std::align_val_t{kAlignment}));
+  slabs_.push_back(slab);
+  return slab;
+}
+
+void* SlabArena::Allocate(std::size_t bytes) {
+  // One alignment cell for the back-pointer header, then the payload.
+  const std::size_t need = kAlignment + AlignUp(bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  Slab* slab = nullptr;
+  if (need > slab_bytes_) {
+    slab = NewSlab(need, /*oversized=*/true);
+  } else {
+    if (current_ == nullptr || current_->used + need > current_->capacity) {
+      if (current_ != nullptr) RetireIfEmpty(current_);
+      if (!free_.empty()) {
+        current_ = free_.back();
+        free_.pop_back();
+        ++recycled_;
+      } else {
+        current_ = NewSlab(slab_bytes_, /*oversized=*/false);
+      }
+    }
+    slab = current_;
+  }
+  unsigned char* cell = slab->payload + slab->used;
+  slab->used += need;
+  slab->live += 1;
+  slab->live_bytes += need;
+  live_blocks_ += 1;
+  used_bytes_ += need;
+  // The header cell stores the back-pointer and the block's full size, so
+  // Release can keep byte accounting exact without a size parameter.
+  *reinterpret_cast<Slab**>(cell) = slab;
+  reinterpret_cast<std::size_t*>(cell)[1] = need;
+  return cell + kAlignment;
+}
+
+void SlabArena::Release(void* block) {
+  if (block == nullptr) return;
+  unsigned char* cell = static_cast<unsigned char*>(block) - kAlignment;
+  std::lock_guard<std::mutex> lock(mu_);
+  Slab* slab = *reinterpret_cast<Slab**>(cell);
+  const std::size_t need = reinterpret_cast<std::size_t*>(cell)[1];
+  assert(slab->live > 0);
+  slab->live -= 1;
+  slab->live_bytes -= need;
+  live_blocks_ -= 1;
+  used_bytes_ -= need;
+  if (slab->live == 0 && slab != current_) {
+    slab->used = 0;
+    if (slab->oversized) {
+      for (auto it = slabs_.begin(); it != slabs_.end(); ++it) {
+        if (*it == slab) {
+          slabs_.erase(it);
+          break;
+        }
+      }
+      ::operator delete(slab->payload, std::align_val_t{kAlignment});
+      delete slab;
+    } else {
+      free_.push_back(slab);
+    }
+  }
+}
+
+void SlabArena::RetireIfEmpty(Slab* slab) {
+  // Called when the bump target moves on: an already-empty ex-current slab
+  // would otherwise never pass through Release's recycling check.
+  if (slab->live == 0 && !slab->oversized) {
+    slab->used = 0;
+    free_.push_back(slab);
+  }
+}
+
+ArenaStats SlabArena::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArenaStats stats;
+  stats.slabs = slabs_.size();
+  for (const Slab* slab : slabs_) stats.reserved_bytes += slab->capacity;
+  stats.used_bytes = used_bytes_;
+  stats.live_blocks = live_blocks_;
+  stats.recycled_slabs = recycled_;
+  return stats;
+}
+
+}  // namespace p3q

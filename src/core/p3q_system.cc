@@ -12,25 +12,30 @@ namespace p3q {
 
 P3QSystem::P3QSystem(const Dataset& dataset, const P3QConfig& config,
                      std::vector<int> per_user_storage, std::uint64_t seed)
+    : P3QSystem(dataset.BuildProfileStore(config.digest_bits), config,
+                std::move(per_user_storage), seed) {}
+
+P3QSystem::P3QSystem(ProfileStore&& store, const P3QConfig& config,
+                     std::vector<int> per_user_storage, std::uint64_t seed)
     : config_(config),
       rng_(seed),
-      store_(dataset.BuildProfileStore(config.digest_bits)),
-      network_(dataset.NumUsers()),
-      engine_(dataset.NumUsers(), SplitMix64(&seed)),
-      eager_engine_(dataset.NumUsers(), SplitMix64(&seed)) {
+      store_(std::move(store)),
+      network_(store_.NumUsers()),
+      engine_(store_.NumUsers(), SplitMix64(&seed)),
+      eager_engine_(store_.NumUsers(), SplitMix64(&seed)) {
   const std::string problem = config_.Validate();
   if (!problem.empty()) {
     throw std::invalid_argument("P3QConfig: " + problem);
   }
   if (per_user_storage.empty()) {
-    per_user_storage.assign(dataset.NumUsers(), config_.stored_profiles);
+    per_user_storage.assign(store_.NumUsers(), config_.stored_profiles);
   }
-  if (per_user_storage.size() != dataset.NumUsers()) {
+  if (per_user_storage.size() != store_.NumUsers()) {
     throw std::invalid_argument(
         "per_user_storage must have one entry per user (or be empty)");
   }
-  nodes_.reserve(dataset.NumUsers());
-  for (UserId u = 0; u < static_cast<UserId>(dataset.NumUsers()); ++u) {
+  nodes_.reserve(store_.NumUsers());
+  for (UserId u = 0; u < static_cast<UserId>(store_.NumUsers()); ++u) {
     const int c = std::min(per_user_storage[u], config_.network_size);
     nodes_.push_back(std::make_unique<P3QNode>(u, store_.Get(u), config_,
                                                std::max(1, c), rng_.Fork()));
@@ -86,18 +91,74 @@ std::size_t P3QSystem::MessagesInFlight() const {
   return engine_.MessagesInFlight() + eager_engine_.MessagesInFlight();
 }
 
+SystemMemoryStats P3QSystem::MemoryStats() const {
+  SystemMemoryStats stats;
+  stats.store = store_.MemoryStats();
+  for (const PairCacheStripe& stripe : pair_cache_) {
+    std::lock_guard<std::mutex> lock(
+        const_cast<PairCacheStripe&>(stripe).mu);
+    stats.pair_cache_entries += stripe.map.size();
+  }
+  stats.pair_cache_evictions =
+      pair_cache_evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void P3QSystem::MaybeEvictStripe(PairCacheStripe* stripe) {
+  // Bound the cache so billion-pair full-scale sweeps cannot exhaust
+  // memory; a reset only costs recomputation. Caller holds the stripe lock.
+  if (stripe->map.size() > kPairCacheCapacity / kPairCacheStripes) {
+    pair_cache_evictions_.fetch_add(stripe->map.size(),
+                                    std::memory_order_relaxed);
+    stripe->map.clear();
+  }
+}
+
 P3QSystem::~P3QSystem() = default;
 
+namespace {
+
+/// Population size past which BootstrapRandomViews switches from the
+/// per-user reservoir sweep (O(users) per user — O(users^2) total) to
+/// rejection sampling straight out of the id space (O(r) per user). The
+/// draw sequence differs between the two paths, so the threshold sits far
+/// above every golden scale.
+constexpr std::size_t kSparseBootstrapThreshold = 65536;
+
+}  // namespace
+
 void P3QSystem::BootstrapRandomViews() {
+  const std::size_t r = static_cast<std::size_t>(config_.random_view_size);
+  if (NumUsers() >= kSparseBootstrapThreshold) {
+    // r distinct peers per user by rejection sampling; r is tiny, so the
+    // duplicate scan is a handful of comparisons.
+    std::vector<UserId> peers;
+    for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) {
+      peers.clear();
+      const std::size_t want = std::min(r, NumUsers() - 1);
+      while (peers.size() < want) {
+        const UserId v = static_cast<UserId>(rng_.NextUint64(NumUsers()));
+        if (v == u ||
+            std::find(peers.begin(), peers.end(), v) != peers.end()) {
+          continue;
+        }
+        peers.push_back(v);
+      }
+      std::vector<DigestInfo> entries;
+      entries.reserve(peers.size());
+      for (UserId v : peers) entries.push_back(DigestInfo{v, store_.Get(v)});
+      node(u).random_view().Init(std::move(entries));
+    }
+    return;
+  }
   std::vector<UserId> all(NumUsers());
   for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) all[u] = u;
   for (UserId u = 0; u < static_cast<UserId>(NumUsers()); ++u) {
-    std::vector<UserId> peers = rng_.SampleWithoutReplacement(
-        all, static_cast<std::size_t>(config_.random_view_size) + 1);
+    std::vector<UserId> peers = rng_.SampleWithoutReplacement(all, r + 1);
     std::vector<DigestInfo> entries;
     for (UserId v : peers) {
       if (v == u) continue;
-      if (entries.size() >= static_cast<std::size_t>(config_.random_view_size)) {
+      if (entries.size() >= r) {
         break;
       }
       entries.push_back(DigestInfo{v, store_.Get(v)});
@@ -289,8 +350,11 @@ void P3QSystem::SaveCheckpoint(CheckpointWriter* out) const {
 }
 
 void P3QSystem::LoadCheckpoint(CheckpointReader* in) {
+  // Passing the store lets the loader share still-live snapshots (same
+  // owner/version/actions) through the snapshot pool and land rebuilt ones
+  // back on the store's arena shards.
   const ProfileTable profiles =
-      ProfileTable::Deserialize(in, config_.digest_bits);
+      ProfileTable::Deserialize(in, config_.digest_bits, &store_);
 
   const std::uint64_t num_users = in->U64();
   if (num_users != NumUsers()) {
@@ -436,9 +500,7 @@ PairSimilarity P3QSystem::PairInfo(const Profile& a, const Profile& b) {
     const Profile& hi = swapped ? a : b;
     sim = KernelPairSimilarity(lo, hi);
     std::lock_guard<std::mutex> lock(stripe.mu);
-    // Bound the cache so billion-pair full-scale sweeps cannot exhaust
-    // memory; a reset only costs recomputation.
-    if (stripe.map.size() > 20'000'000 / kPairCacheStripes) stripe.map.clear();
+    MaybeEvictStripe(&stripe);
     stripe.map.emplace(key, sim);
   }
   if (swapped) std::swap(sim.a_actions_on_common, sim.b_actions_on_common);
@@ -493,7 +555,7 @@ std::vector<PairSimilarity> P3QSystem::PairInfoBatch(
     PairCacheStripe& stripe =
         pair_cache_[PairKeyHash{}(keys[i]) & (kPairCacheStripes - 1)];
     std::lock_guard<std::mutex> lock(stripe.mu);
-    if (stripe.map.size() > 20'000'000 / kPairCacheStripes) stripe.map.clear();
+    MaybeEvictStripe(&stripe);
     stripe.map.emplace(keys[i], canonical);
   }
   return out;

@@ -17,6 +17,7 @@
 #define P3Q_CORE_P3Q_SYSTEM_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,6 +45,17 @@ class PhaseProfiler;  // obs/profiler.h
 class CheckpointWriter;  // sim/checkpoint.h
 class CheckpointReader;
 
+/// Memory rollup of one deployment (profile storage + scoring caches),
+/// surfaced in the runner's --timing report. All figures are current
+/// values except the peaks noted in ProfileStoreMemoryStats.
+struct SystemMemoryStats {
+  ProfileStoreMemoryStats store;
+  /// Memoized pair similarities currently cached.
+  std::size_t pair_cache_entries = 0;
+  /// Entries discarded by the cache's capacity bound so far.
+  std::uint64_t pair_cache_evictions = 0;
+};
+
 /// A complete simulated P3Q deployment.
 class P3QSystem {
  public:
@@ -52,6 +64,14 @@ class P3QSystem {
   /// all); seed: master seed for all randomness.
   P3QSystem(const Dataset& dataset, const P3QConfig& config,
             std::vector<int> per_user_storage, std::uint64_t seed);
+
+  /// Takes ownership of an already-built profile store — the streaming
+  /// setup path: trace generation feeds profiles straight into the store
+  /// without materializing a Dataset. Behaviour is identical to building
+  /// the store from the equivalent dataset.
+  P3QSystem(ProfileStore&& store, const P3QConfig& config,
+            std::vector<int> per_user_storage, std::uint64_t seed);
+
   ~P3QSystem();
 
   P3QSystem(const P3QSystem&) = delete;
@@ -102,6 +122,10 @@ class P3QSystem {
 
   /// Messages currently in flight across both engines.
   std::size_t MessagesInFlight() const;
+
+  /// Memory footprint rollup: the profile store's arena/pool/pending
+  /// counters plus the pair-similarity cache's population and evictions.
+  SystemMemoryStats MemoryStats() const;
 
   // -- Initialization ------------------------------------------------------
 
@@ -260,10 +284,17 @@ class P3QSystem {
   /// hit different stripes, and a stripe's lock is held only for the map
   /// lookup/insert, never while the similarity kernel runs.
   static constexpr std::size_t kPairCacheStripes = 64;
+  /// Total cache capacity bound; a stripe that outgrows its share resets
+  /// (a reset only costs recomputation — the entries are memoized pure
+  /// values). Evictions are counted for MemoryStats.
+  static constexpr std::size_t kPairCacheCapacity = 20'000'000;
   struct PairCacheStripe {
     std::mutex mu;
     std::unordered_map<PairKey, PairSimilarity, PairKeyHash> map;
   };
+
+  /// Clears a full stripe (under its lock), counting the eviction.
+  void MaybeEvictStripe(PairCacheStripe* stripe);
 
   P3QConfig config_;
   Rng rng_;
@@ -277,6 +308,7 @@ class P3QSystem {
   LatencySpec latency_spec_;  ///< default: ZeroLatency
   Tracer* tracer_ = nullptr;
   std::array<PairCacheStripe, kPairCacheStripes> pair_cache_;
+  std::atomic<std::uint64_t> pair_cache_evictions_{0};
 };
 
 }  // namespace p3q

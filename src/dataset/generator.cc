@@ -79,9 +79,26 @@ std::vector<std::vector<TagId>> BuildItemTags(
 
 }  // namespace
 
-std::vector<ActionKey> SyntheticTrace::DrawActionsForUser(UserId user,
-                                                          int num_items,
-                                                          Rng* rng) const {
+ActionsView DatasetActionsView(const Dataset& dataset) {
+  return [&dataset](UserId user) -> std::span<const ActionKey> {
+    return dataset.ActionsOf(user);
+  };
+}
+
+SyntheticTraceStream::SyntheticTraceStream(const SyntheticConfig& config,
+                                           std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config.num_users <= 0) {
+    throw std::invalid_argument("SyntheticConfig.num_users must be positive");
+  }
+  community_items_ = BuildCommunityItems(config_, &rng_);
+  item_tags_ = BuildItemTags(config_, community_items_, &rng_);
+  user_community_.reserve(num_users());
+  user_secondary_.reserve(num_users());
+}
+
+std::vector<ActionKey> SyntheticTraceStream::DrawActionsForUser(
+    UserId user, int num_items, Rng* rng) const {
   std::vector<ActionKey> actions;
   const int primary = user_community_[user];
   const int secondary = user_secondary_[user];
@@ -107,41 +124,31 @@ std::vector<ActionKey> SyntheticTrace::DrawActionsForUser(UserId user,
   return actions;
 }
 
-SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig& config,
-                                      std::uint64_t seed) {
-  if (config.num_users <= 0) {
-    throw std::invalid_argument("SyntheticConfig.num_users must be positive");
+std::vector<ActionKey> SyntheticTraceStream::NextUserActions() {
+  if (Done()) {
+    throw std::logic_error("SyntheticTraceStream: all users already streamed");
   }
-  Rng rng(seed);
-  SyntheticTrace trace;
-  trace.config_ = config;
-  trace.community_items_ = BuildCommunityItems(config, &rng);
-  trace.item_tags_ = BuildItemTags(config, trace.community_items_, &rng);
-
-  const ZipfSampler community_rank(config.num_communities,
-                                   config.community_zipf_skew);
-  const LogNormalSampler activity(config.activity_mu, config.activity_sigma);
-
-  trace.user_community_.resize(config.num_users);
-  trace.user_secondary_.resize(config.num_users, -1);
-  std::vector<std::vector<ActionKey>> user_actions(config.num_users);
-  for (int u = 0; u < config.num_users; ++u) {
-    trace.user_community_[u] = static_cast<int>(community_rank.Sample(&rng));
-    if (rng.NextBool(config.secondary_community_prob)) {
-      trace.user_secondary_[u] = static_cast<int>(community_rank.Sample(&rng));
-    }
-    int num_items = static_cast<int>(activity.Sample(&rng));
-    num_items = std::clamp(num_items, config.min_items_per_user,
-                           config.max_items_per_user);
-    user_actions[u] =
-        trace.DrawActionsForUser(static_cast<UserId>(u), num_items, &rng);
-  }
-  trace.dataset_ = Dataset(std::move(user_actions));
-  return trace;
+  const ZipfSampler community_rank(config_.num_communities,
+                                   config_.community_zipf_skew);
+  const LogNormalSampler activity(config_.activity_mu, config_.activity_sigma);
+  const UserId u = next_user_++;
+  user_community_.push_back(static_cast<int>(community_rank.Sample(&rng_)));
+  user_secondary_.push_back(
+      rng_.NextBool(config_.secondary_community_prob)
+          ? static_cast<int>(community_rank.Sample(&rng_))
+          : -1);
+  int num_items = static_cast<int>(activity.Sample(&rng_));
+  num_items = std::clamp(num_items, config_.min_items_per_user,
+                         config_.max_items_per_user);
+  return DrawActionsForUser(u, num_items, &rng_);
 }
 
-UpdateBatch SyntheticTrace::MakeUpdateBatch(const UpdateConfig& config,
-                                            Rng* rng) const {
+UpdateBatch SyntheticTraceStream::MakeUpdateBatch(
+    const UpdateConfig& config, Rng* rng, const ActionsView& existing) const {
+  if (!Done()) {
+    throw std::logic_error(
+        "SyntheticTraceStream: update batches require a fully streamed trace");
+  }
   UpdateBatch batch;
   const int num_users = config_.num_users;
   // Long-tailed new-action counts: draw item counts from a geometric-ish
@@ -156,13 +163,13 @@ UpdateBatch SyntheticTrace::MakeUpdateBatch(const UpdateConfig& config,
     if (static_cast<int>(actions.size()) > config.max_new_actions) {
       actions.resize(config.max_new_actions);
     }
-    // Only keep actions genuinely absent from the current profile; the
-    // caller applies the batch to the store, which deduplicates anyway, but
-    // the batch statistics (Table 2) should count real additions.
-    const auto& existing = dataset_.ActionsOf(u);
+    // Only keep actions genuinely absent from the user's original profile;
+    // the caller applies the batch to the store, which deduplicates anyway,
+    // but the batch statistics (Table 2) should count real additions.
+    const std::span<const ActionKey> have = existing(u);
     std::vector<ActionKey> fresh;
     for (ActionKey a : actions) {
-      if (!std::binary_search(existing.begin(), existing.end(), a)) {
+      if (!std::binary_search(have.begin(), have.end(), a)) {
         fresh.push_back(a);
       }
     }
@@ -170,6 +177,22 @@ UpdateBatch SyntheticTrace::MakeUpdateBatch(const UpdateConfig& config,
     batch.updates.push_back(ProfileUpdate{u, std::move(fresh)});
   }
   return batch;
+}
+
+SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig& config,
+                                      std::uint64_t seed) {
+  SyntheticTraceStream stream(config, seed);
+  std::vector<std::vector<ActionKey>> user_actions(config.num_users);
+  for (int u = 0; u < config.num_users; ++u) {
+    user_actions[u] = stream.NextUserActions();
+  }
+  Dataset dataset(std::move(user_actions));
+  return SyntheticTrace(std::move(stream), std::move(dataset));
+}
+
+UpdateBatch SyntheticTrace::MakeUpdateBatch(const UpdateConfig& config,
+                                            Rng* rng) const {
+  return stream_.MakeUpdateBatch(config, rng, DatasetActionsView(dataset_));
 }
 
 }  // namespace p3q

@@ -15,10 +15,21 @@
 // carries a small candidate-tag distribution (shared by all taggers of that
 // item, which produces common (item, tag) actions between similar users).
 // A DESIGN.md section documents the substitution rationale in full.
+//
+// Two consumption shapes share one draw path:
+//   - SyntheticTraceStream hands out one user's actions at a time, in user
+//     id order — the million-user setup path: the runner feeds each vector
+//     straight into the ProfileStore and drops it, so setup memory is
+//     O(one profile), not O(trace).
+//   - GenerateSyntheticTrace materializes the whole Dataset (tests, small
+//     experiments). It is implemented ON the stream, so the two are
+//     byte-identical per construction for equal (config, seed).
 #ifndef P3Q_DATASET_GENERATOR_H_
 #define P3Q_DATASET_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -83,16 +94,79 @@ struct UpdateConfig {
   int max_new_actions = 268;
 };
 
+/// Where workload generation reads a user's ORIGINAL (version-0) actions
+/// from: a materialized Dataset, or a ProfileStore that retains originals
+/// (ProfileStore::RetainOriginals) when no Dataset exists. The facade that
+/// lets update batches and query generation run in streaming setups.
+using ActionsView = std::function<std::span<const ActionKey>(UserId)>;
+
+/// Builds an ActionsView over a materialized dataset.
+ActionsView DatasetActionsView(const Dataset& dataset);
+
+/// Generation-time iterator over the synthetic trace: yields each user's
+/// sorted unique actions in user id order, drawing from exactly the rng
+/// stream GenerateSyntheticTrace uses — the n-th user's vector is
+/// byte-identical between the two paths.
+class SyntheticTraceStream {
+ public:
+  /// Builds the latent interest model (community pools, item tags); fully
+  /// deterministic in `seed`. Throws std::invalid_argument when
+  /// config.num_users is not positive.
+  SyntheticTraceStream(const SyntheticConfig& config, std::uint64_t seed);
+
+  const SyntheticConfig& config() const { return config_; }
+  std::size_t num_users() const {
+    return static_cast<std::size_t>(config_.num_users);
+  }
+
+  /// Id of the user the next NextUserActions() call yields.
+  UserId next_user() const { return next_user_; }
+
+  /// True once every user has been streamed.
+  bool Done() const { return next_user_ >= static_cast<UserId>(num_users()); }
+
+  /// Draws and returns the next user's sorted unique actions (assigning her
+  /// communities and activity along the way). Must not be called when
+  /// Done().
+  std::vector<ActionKey> NextUserActions();
+
+  /// Primary community per user; filled as users are streamed.
+  const std::vector<int>& user_community() const { return user_community_; }
+
+  /// Draws a batch of profile updates consistent with each user's
+  /// interests; `existing` supplies every user's original actions (for
+  /// dedup against the profile), so batches work without a materialized
+  /// Dataset. Requires Done() — the batch draws against every user's
+  /// recorded community. Long-tailed per-user counts: most changed users
+  /// add few actions, a few add up to max_new_actions.
+  UpdateBatch MakeUpdateBatch(const UpdateConfig& config, Rng* rng,
+                              const ActionsView& existing) const;
+
+ private:
+  std::vector<ActionKey> DrawActionsForUser(UserId user, int num_items,
+                                            Rng* rng) const;
+
+  SyntheticConfig config_;
+  Rng rng_;
+  UserId next_user_ = 0;
+  std::vector<int> user_community_;            // primary community per user
+  std::vector<int> user_secondary_;            // -1 when absent
+  std::vector<std::vector<ItemId>> community_items_;
+  std::vector<std::vector<TagId>> item_tags_;  // candidate tags per item
+};
+
 /// A generated trace: the dataset plus the latent community structure, kept
 /// so update batches can draw new actions from the same interest model.
 class SyntheticTrace {
  public:
   const Dataset& dataset() const { return dataset_; }
-  const SyntheticConfig& config() const { return config_; }
+  const SyntheticConfig& config() const { return stream_.config(); }
 
   /// Community of each user (primary). Exposed for tests that verify the
   /// clustering property.
-  const std::vector<int>& user_community() const { return user_community_; }
+  const std::vector<int>& user_community() const {
+    return stream_.user_community();
+  }
 
   /// Draws a batch of profile updates consistent with each user's interests.
   /// Long-tailed per-user counts: most changed users add few actions, a few
@@ -102,18 +176,16 @@ class SyntheticTrace {
  private:
   friend SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig&,
                                                std::uint64_t);
-  std::vector<ActionKey> DrawActionsForUser(UserId user, int num_items,
-                                            Rng* rng) const;
+  SyntheticTrace(SyntheticTraceStream stream, Dataset dataset)
+      : stream_(std::move(stream)), dataset_(std::move(dataset)) {}
 
-  SyntheticConfig config_;
+  SyntheticTraceStream stream_;  // fully streamed
   Dataset dataset_;
-  std::vector<int> user_community_;            // primary community per user
-  std::vector<int> user_secondary_;            // -1 when absent
-  std::vector<std::vector<ItemId>> community_items_;
-  std::vector<std::vector<TagId>> item_tags_;  // candidate tags per item
 };
 
 /// Generates a trace from the configuration; fully deterministic in `seed`.
+/// Implemented by draining a SyntheticTraceStream, so the materialized
+/// per-user action lists equal the streamed ones byte for byte.
 SyntheticTrace GenerateSyntheticTrace(const SyntheticConfig& config,
                                       std::uint64_t seed);
 

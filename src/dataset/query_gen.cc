@@ -5,9 +5,14 @@
 namespace p3q {
 
 QuerySpec GenerateQueryForUser(const Dataset& dataset, UserId user, Rng* rng) {
+  return GenerateQueryForUser(std::span<const ActionKey>(dataset.ActionsOf(user)),
+                              user, rng);
+}
+
+QuerySpec GenerateQueryForUser(std::span<const ActionKey> actions, UserId user,
+                               Rng* rng) {
   QuerySpec query;
   query.querier = user;
-  const auto& actions = dataset.ActionsOf(user);
   if (actions.empty()) return query;
   // Pick a random *item* (not a random action) so heavily-tagged items are
   // not over-represented: sample an action, then take its whole item run.

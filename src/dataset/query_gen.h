@@ -7,6 +7,7 @@
 #ifndef P3Q_DATASET_QUERY_GEN_H_
 #define P3Q_DATASET_QUERY_GEN_H_
 
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -27,6 +28,13 @@ struct QuerySpec {
 /// Generates one query for the given user per the paper's method. Returns a
 /// query with empty tags when the user's profile is empty.
 QuerySpec GenerateQueryForUser(const Dataset& dataset, UserId user, Rng* rng);
+
+/// Same, drawing from a raw sorted action list — the streaming path, where
+/// no materialized Dataset exists and the runner reads the user's original
+/// actions out of the ProfileStore. Identical rng draws for identical
+/// actions, so queries match the Dataset overload byte for byte.
+QuerySpec GenerateQueryForUser(std::span<const ActionKey> actions, UserId user,
+                               Rng* rng);
 
 /// Generates one query per user (skipping users with empty profiles).
 std::vector<QuerySpec> GenerateQueries(const Dataset& dataset, Rng* rng);

@@ -11,14 +11,24 @@
 // shared_ptr's to snapshots, so a replica is stale exactly when its version
 // is older than the owner's current version — which is how the dynamism
 // experiments (Figures 7, 9, 10, Table 2) measure freshness.
+//
+// Storage: a snapshot's sorted actions and its whole ScoreIndex live in ONE
+// contiguous 64-byte-aligned block — either a SlabArena block (the
+// million-user path: ProfileStore hands every snapshot its shard's arena)
+// or a single heap allocation when no arena is given (tests, standalone
+// profiles). The snapshot keeps its arena alive through a shared_ptr, so
+// replicas can outlive the store that allocated them.
 #ifndef P3Q_PROFILE_PROFILE_H_
 #define P3Q_PROFILE_PROFILE_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "common/aligned.h"
+#include "common/arena.h"
 #include "common/types.h"
 #include "profile/score_kernel.h"
 
@@ -28,15 +38,33 @@ namespace p3q {
 class Profile {
  public:
   /// Builds a snapshot from (possibly unsorted, possibly duplicated) packed
-  /// actions. Actions are sorted and deduplicated.
+  /// actions. Actions are sorted and deduplicated. When `arena` is non-null
+  /// the packed snapshot block is allocated from it.
   Profile(UserId owner, std::vector<ActionKey> actions, std::uint32_t version,
-          std::size_t digest_bits = kDefaultDigestBits);
+          std::size_t digest_bits = kDefaultDigestBits,
+          std::shared_ptr<SlabArena> arena = nullptr);
+
+  /// Incremental snapshot: `base`'s actions plus `new_actions` (possibly
+  /// unsorted/duplicated/overlapping the base), version bumped by one. The
+  /// Bloom digest is extended by OR (order-independent, so bit-identical to
+  /// a rebuild) and the ScoreIndex is *folded* from the base's index
+  /// (ScoreIndexData::Fold) instead of rebuilt — bit-identical to the
+  /// from-scratch constructor above on the merged action set.
+  Profile(const Profile& base, const std::vector<ActionKey>& new_actions,
+          std::shared_ptr<SlabArena> arena = nullptr);
+
+  ~Profile();
+
+  Profile(const Profile&) = delete;
+  Profile& operator=(const Profile&) = delete;
+  Profile(Profile&& other) noexcept;
+  Profile& operator=(Profile&& other) = delete;
 
   UserId owner() const { return owner_; }
   std::uint32_t version() const { return version_; }
 
-  /// Sorted unique tagging actions.
-  const std::vector<ActionKey>& actions() const { return actions_; }
+  /// Sorted unique tagging actions (a view into the packed snapshot block).
+  std::span<const ActionKey> actions() const { return actions_; }
 
   /// The paper's "length of profile": number of tagging actions.
   std::size_t Length() const { return actions_.size(); }
@@ -50,6 +78,9 @@ class Profile {
   /// Block-bitmap scoring index (profile/score_kernel.h), built once at
   /// snapshot construction; what the batched similarity kernels run on.
   const ScoreIndex& index() const { return index_; }
+
+  /// Bytes of the packed snapshot block (actions + index), as allocated.
+  std::size_t PackedBytes() const { return packed_bytes_; }
 
   /// True when the action Tagged(item, tag) is present.
   bool Contains(ItemId item, TagId tag) const;
@@ -85,11 +116,23 @@ class Profile {
   }
 
  private:
+  /// Copies the sorted actions and the built index into one packed block
+  /// (arena or heap) and points actions_/index_ at it.
+  void Pack(std::span<const ActionKey> sorted_actions,
+            const ScoreIndexData& index, std::shared_ptr<SlabArena> arena);
+
   UserId owner_;
   std::uint32_t version_;
-  std::vector<ActionKey> actions_;
   std::size_t num_items_;
   BloomFilter digest_;
+
+  /// Packed storage: arena block when arena_ is set, heap_ otherwise.
+  std::shared_ptr<SlabArena> arena_;
+  void* block_ = nullptr;
+  AlignedVector<std::uint64_t> heap_;
+  std::size_t packed_bytes_ = 0;
+
+  std::span<const ActionKey> actions_;
   ScoreIndex index_;
 };
 
@@ -97,11 +140,11 @@ class Profile {
 /// refcount increment regardless of profile size.
 using ProfilePtr = std::shared_ptr<const Profile>;
 
-/// Counts the common actions of two sorted unique action vectors with a
+/// Counts the common actions of two sorted unique action sequences with a
 /// scalar element-at-a-time merge — the reference the block-bitmap kernel
 /// (profile/score_kernel.h) is differential-tested and benchmarked against.
-std::size_t CountCommonActions(const std::vector<ActionKey>& a,
-                               const std::vector<ActionKey>& b);
+std::size_t CountCommonActions(std::span<const ActionKey> a,
+                               std::span<const ActionKey> b);
 
 /// Computes PairSimilarity (profile/score_kernel.h) for two profiles with
 /// the scalar reference merge. Production scoring goes through

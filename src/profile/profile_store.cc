@@ -1,38 +1,180 @@
 #include "profile/profile_store.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace p3q {
+namespace {
+
+std::uint64_t PoolKey(UserId owner, std::uint32_t version) {
+  return (static_cast<std::uint64_t>(owner) << 32) | version;
+}
+
+}  // namespace
+
+ProfileStore::ProfileStore() {
+  arenas_.reserve(kArenaShards);
+  for (std::size_t s = 0; s < kArenaShards; ++s) {
+    arenas_.push_back(std::make_shared<SlabArena>());
+  }
+}
+
+ProfileStore::ProfileStore(ProfileStore&& other) noexcept
+    : current_(std::move(other.current_)),
+      digest_bits_(other.digest_bits_),
+      arenas_(std::move(other.arenas_)),
+      pending_(std::move(other.pending_)),
+      peak_pending_depth_(other.peak_pending_depth_),
+      retain_originals_(other.retain_originals_),
+      originals_(std::move(other.originals_)),
+      pool_(std::move(other.pool_)),
+      pool_hits_(other.pool_hits_),
+      pool_misses_(other.pool_misses_) {}
 
 void ProfileStore::AddUser(UserId user, std::vector<ActionKey> actions,
                            std::size_t digest_bits) {
   assert(user == current_.size() && "users must be added in id order");
   (void)user;
   digest_bits_ = digest_bits;
-  current_.push_back(std::make_shared<Profile>(
-      static_cast<UserId>(current_.size()), std::move(actions), 0, digest_bits));
+  const UserId id = static_cast<UserId>(current_.size());
+  current_.push_back(std::make_shared<Profile>(id, std::move(actions), 0,
+                                               digest_bits, ArenaOf(id)));
+  PoolRegister(current_.back());
+}
+
+void ProfileStore::RecordAction(UserId user, ActionKey action) {
+  std::vector<ActionKey>& pending = pending_[user];
+  pending.push_back(action);
+  peak_pending_depth_ = std::max(peak_pending_depth_, pending.size());
+}
+
+bool ProfileStore::HasPending(UserId user) const {
+  const auto it = pending_.find(user);
+  return it != pending_.end() && !it->second.empty();
+}
+
+ProfilePtr ProfileStore::PublishPending(UserId user) {
+  const auto it = pending_.find(user);
+  if (it == pending_.end() || it->second.empty()) return current_[user];
+  const ProfilePtr& old = current_[user];
+  if (retain_originals_ && old->version() == 0) {
+    originals_.emplace(user, std::vector<ActionKey>(old->actions().begin(),
+                                                    old->actions().end()));
+  }
+  // The fold constructor merges the delta into the base snapshot and folds
+  // the ScoreIndex incrementally — bit-identical to rebuilding from the
+  // concatenated action set.
+  current_[user] =
+      std::make_shared<Profile>(*old, it->second, ArenaOf(user));
+  pending_.erase(it);
+  PoolRegister(current_[user]);
+  return current_[user];
 }
 
 ProfilePtr ProfileStore::ApplyUpdate(UserId user,
                                      const std::vector<ActionKey>& new_actions) {
-  const ProfilePtr& old = current_[user];
-  std::vector<ActionKey> merged = old->actions();
-  merged.insert(merged.end(), new_actions.begin(), new_actions.end());
-  current_[user] = std::make_shared<Profile>(user, std::move(merged),
-                                             old->version() + 1, digest_bits_);
-  return current_[user];
+  if (new_actions.empty()) {
+    // Historical semantics: even an empty update publishes a new version.
+    const ProfilePtr& old = current_[user];
+    if (retain_originals_ && old->version() == 0) {
+      originals_.emplace(user, std::vector<ActionKey>(old->actions().begin(),
+                                                      old->actions().end()));
+    }
+    current_[user] = std::make_shared<Profile>(*old, new_actions, ArenaOf(user));
+    PoolRegister(current_[user]);
+    return current_[user];
+  }
+  std::vector<ActionKey>& pending = pending_[user];
+  pending.insert(pending.end(), new_actions.begin(), new_actions.end());
+  peak_pending_depth_ = std::max(peak_pending_depth_, pending.size());
+  return PublishPending(user);
 }
 
 void ProfileStore::RestoreSnapshots(std::vector<ProfilePtr> snapshots) {
   assert(snapshots.size() == current_.size() &&
          "restore must cover exactly the existing users");
+  if (retain_originals_) {
+    // A restore may replace a version-0 snapshot with an updated one; keep
+    // the original actions reachable (streaming runs read them for workload
+    // generation, and a freshly built store is the only place they exist).
+    for (std::size_t u = 0; u < snapshots.size(); ++u) {
+      if (current_[u]->version() == 0 && snapshots[u]->version() != 0) {
+        originals_.emplace(
+            static_cast<UserId>(u),
+            std::vector<ActionKey>(current_[u]->actions().begin(),
+                                   current_[u]->actions().end()));
+      }
+    }
+  }
   current_ = std::move(snapshots);
+  pending_.clear();
+  for (const ProfilePtr& p : current_) PoolRegister(p);
 }
 
 std::size_t ProfileStore::TotalActions() const {
   std::size_t total = 0;
   for (const auto& p : current_) total += p->Length();
   return total;
+}
+
+std::span<const ActionKey> ProfileStore::OriginalActionsOf(UserId user) const {
+  const auto it = originals_.find(user);
+  if (it != originals_.end()) return it->second;
+  assert(current_[user]->version() == 0 &&
+         "original actions of an updated user require RetainOriginals");
+  return current_[user]->actions();
+}
+
+ProfilePtr ProfileStore::PoolFind(UserId owner, std::uint32_t version,
+                                  std::span<const ActionKey> actions) const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  const auto it = pool_.find(PoolKey(owner, version));
+  if (it != pool_.end()) {
+    if (ProfilePtr live = it->second.lock()) {
+      const std::span<const ActionKey> have = live->actions();
+      if (have.size() == actions.size() &&
+          std::equal(have.begin(), have.end(), actions.begin())) {
+        ++pool_hits_;
+        return live;
+      }
+    }
+  }
+  ++pool_misses_;
+  return nullptr;
+}
+
+void ProfileStore::PoolRegister(const ProfilePtr& snapshot) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_[PoolKey(snapshot->owner(), snapshot->version())] = snapshot;
+  // Sweep expired entries once the tombstones outnumber the population —
+  // keeps the pool O(live snapshots) under long update churn.
+  if (pool_.size() > 2 * current_.size() + 16) {
+    for (auto it = pool_.begin(); it != pool_.end();) {
+      if (it->second.expired()) {
+        it = pool_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ProfileStoreMemoryStats ProfileStore::MemoryStats() const {
+  ProfileStoreMemoryStats stats;
+  for (const auto& arena : arenas_) stats.arena += arena->Stats();
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    stats.pool_hits = pool_hits_;
+    stats.pool_misses = pool_misses_;
+  }
+  stats.peak_pending_depth = peak_pending_depth_;
+  for (const auto& [user, pending] : pending_) {
+    stats.pending_users += !pending.empty();
+  }
+  for (const auto& [user, actions] : originals_) {
+    stats.original_bytes += actions.size() * sizeof(ActionKey);
+  }
+  return stats;
 }
 
 }  // namespace p3q

@@ -5,20 +5,70 @@
 // version with the store's current version tells whether the replica is
 // stale. Applying an update batch (users tagging new items, Section 3.4.1)
 // publishes new snapshots without touching existing replicas.
+//
+// Memory model (the million-user path):
+//  - Every snapshot's packed block (actions + ScoreIndex) is allocated from
+//    one of the store's slab arenas, sharded by user id so plan threads
+//    publishing concurrently don't contend on one allocator lock.
+//  - Updates are *buffered*: RecordAction appends to a per-user pending
+//    delta, and PublishPending folds the delta into a new snapshot through
+//    the incremental ScoreIndex fold — no from-scratch rebuild. ApplyUpdate
+//    (the classic entry point) is RecordAction + PublishPending and stays
+//    bit-identical to the historical rebuild semantics.
+//  - A deduplicating snapshot pool maps (owner, version) to live snapshots
+//    so a checkpoint restore can reuse snapshots that already exist (e.g.
+//    the version-0 profiles of a freshly built system) instead of
+//    rebuilding digest + index; hits and misses are counted for
+//    MemoryStats.
+//  - When told to (streaming traces), the store retains each updated
+//    user's original version-0 actions so workload generation can keep
+//    drawing against the original dataset without materializing it.
 #ifndef P3Q_PROFILE_PROFILE_STORE_H_
 #define P3Q_PROFILE_PROFILE_STORE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "profile/profile.h"
 
 namespace p3q {
 
+/// Memory footprint counters of one ProfileStore (P3QSystem::MemoryStats
+/// rolls this up into the --timing report).
+struct ProfileStoreMemoryStats {
+  /// Summed over the store's arena shards.
+  ArenaStats arena;
+  /// Snapshot-pool reuse counters (checkpoint restore).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Deepest per-user pending delta ever buffered (actions).
+  std::size_t peak_pending_depth = 0;
+  /// Users with a pending delta right now.
+  std::size_t pending_users = 0;
+  /// Bytes of retained original action vectors (streaming mode).
+  std::size_t original_bytes = 0;
+};
+
 /// Owns the current profile snapshot of every user.
 class ProfileStore {
  public:
-  ProfileStore() = default;
+  /// Arena shards; user u allocates from arena u % kArenaShards.
+  static constexpr std::size_t kArenaShards = 8;
+
+  ProfileStore();
+
+  /// Movable (the builder paths return stores by value; P3QSystem adopts
+  /// one); the pool mutex is freshly constructed in the destination.
+  /// Not for concurrent use: nothing may probe the source mid-move.
+  ProfileStore(ProfileStore&& other) noexcept;
+  ProfileStore& operator=(ProfileStore&&) = delete;
+  ProfileStore(const ProfileStore&) = delete;
+  ProfileStore& operator=(const ProfileStore&) = delete;
 
   /// Initializes user `user`'s profile from raw actions at version 0. Users
   /// must be added with consecutive ids starting at 0.
@@ -41,8 +91,23 @@ class ProfileStore {
     return replica.version() == CurrentVersion(replica.owner());
   }
 
+  /// Buffers one new tagging action for `user` without publishing a
+  /// snapshot. Successive RecordActions accumulate in a pending delta that
+  /// PublishPending folds into the next snapshot in one go.
+  void RecordAction(UserId user, ActionKey action);
+
+  /// True when `user` has buffered actions not yet folded into a snapshot.
+  bool HasPending(UserId user) const;
+
+  /// Folds `user`'s pending delta into a new snapshot (version + 1) via the
+  /// incremental ScoreIndex fold and publishes it. No-op returning the
+  /// current snapshot when nothing is pending.
+  ProfilePtr PublishPending(UserId user);
+
   /// Publishes a new snapshot for `user` containing her previous actions
   /// plus `new_actions`; bumps the version. Returns the new snapshot.
+  /// Equivalent to RecordAction for each action followed by PublishPending,
+  /// and bit-identical to the historical from-scratch rebuild.
   ProfilePtr ApplyUpdate(UserId user, const std::vector<ActionKey>& new_actions);
 
   /// Total number of tagging actions across all current snapshots.
@@ -53,9 +118,51 @@ class ProfileStore {
   /// id order.
   void RestoreSnapshots(std::vector<ProfilePtr> snapshots);
 
+  /// When enabled, the store copies a user's version-0 actions aside before
+  /// her first update, so OriginalActionsOf stays valid without a
+  /// materialized Dataset. Streaming scenario runs turn this on.
+  void RetainOriginals(bool retain) { retain_originals_ = retain; }
+
+  /// The user's original (version-0) actions. Requires RetainOriginals or
+  /// an un-updated user.
+  std::span<const ActionKey> OriginalActionsOf(UserId user) const;
+
+  /// Live snapshot with this exact (owner, version) and action set, if the
+  /// pool still holds one — the checkpoint codec's dedup path. Counts a hit
+  /// or miss.
+  ProfilePtr PoolFind(UserId owner, std::uint32_t version,
+                      std::span<const ActionKey> actions) const;
+
+  /// Arena of `user`'s shard, for building snapshots that will be
+  /// published into this store (checkpoint restore).
+  const std::shared_ptr<SlabArena>& ArenaOf(UserId user) const {
+    return arenas_[user % kArenaShards];
+  }
+
+  ProfileStoreMemoryStats MemoryStats() const;
+
  private:
+  void PoolRegister(const ProfilePtr& snapshot);
+
   std::vector<ProfilePtr> current_;
   std::size_t digest_bits_ = kDefaultDigestBits;
+  std::vector<std::shared_ptr<SlabArena>> arenas_;
+
+  /// Per-user buffered deltas (RecordAction) and the high-water depth.
+  std::unordered_map<UserId, std::vector<ActionKey>> pending_;
+  std::size_t peak_pending_depth_ = 0;
+
+  /// Original version-0 actions of updated users (streaming mode only).
+  bool retain_originals_ = false;
+  std::unordered_map<UserId, std::vector<ActionKey>> originals_;
+
+  /// (owner << 32 | version) -> live snapshot. Guarded by pool_mu_ so the
+  /// checkpoint codec can probe while snapshots are being published.
+  mutable std::mutex pool_mu_;
+  mutable std::unordered_map<std::uint64_t, std::weak_ptr<const Profile>>
+      pool_;
+  mutable std::uint64_t pool_hits_ = 0;
+  mutable std::uint64_t pool_misses_ = 0;
 };
 
 }  // namespace p3q

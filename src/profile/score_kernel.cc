@@ -55,7 +55,7 @@ std::size_t DispatchBlocksMerge(const std::uint64_t* ab,
 /// frame, so it stays L1-hot across every candidate.
 class BlockHash {
  public:
-  explicit BlockHash(const BlockBitmap& bitmap) {
+  explicit BlockHash(const BitmapView& bitmap) {
     std::size_t capacity = 16;
     while (capacity < bitmap.size() * 2) capacity <<= 1;
     mask_ = capacity - 1;
@@ -95,9 +95,108 @@ class BlockHash {
   std::vector<std::uint64_t> slots_;
 };
 
+/// Packs one item run's tags into the two signature forms, or leaves the
+/// four words zero when the run is unpackable. Shared by Build and Fold so
+/// both produce bit-identical signatures by construction.
+void PackTagSignature(std::span<const ActionKey> actions, std::uint32_t begin,
+                      std::uint32_t end, std::uint64_t* sig_a_out,
+                      std::uint64_t* sig_b_out) {
+  sig_a_out[0] = sig_a_out[1] = 0;
+  sig_b_out[0] = sig_b_out[1] = 0;
+  if (end - begin > kTagSigLanes) return;
+  std::uint64_t sig_a[2] = {~std::uint64_t{0}, ~std::uint64_t{0}};
+  std::uint64_t sig_b[2] = {0xfffefffefffefffeULL, 0xfffefffefffefffeULL};
+  for (std::uint32_t o = begin; o < end; ++o) {
+    const TagId tag = ActionTag(actions[o]);
+    if (tag > kTagSigMaxTag) return;
+    const std::uint32_t lane = o - begin;
+    const std::uint64_t clear = ~(std::uint64_t{0xffff} << (16 * (lane & 3)));
+    const std::uint64_t set = static_cast<std::uint64_t>(tag)
+                              << (16 * (lane & 3));
+    sig_a[lane >> 2] = (sig_a[lane >> 2] & clear) | set;
+    sig_b[lane >> 2] = (sig_b[lane >> 2] & clear) | set;
+  }
+  sig_a_out[0] = sig_a[0];
+  sig_a_out[1] = sig_a[1];
+  sig_b_out[0] = sig_b[0];
+  sig_b_out[1] = sig_b[1];
+}
+
+/// Merges an existing block bitmap with the bitmap of additional sorted
+/// unique keys — the union, with words of shared blocks OR-ed. Equal to
+/// BlockBitmap::Build over the merged key set because a bitmap is a pure
+/// function of its key set.
+BlockBitmap FoldBitmap(const BitmapView& base,
+                       const std::vector<std::uint64_t>& delta_keys) {
+  const BlockBitmap delta = BlockBitmap::Build(delta_keys);
+  BlockBitmap out;
+  out.blocks.reserve(base.size() + delta.size());
+  out.words.reserve(base.size() + delta.size());
+  std::size_t i = 0, j = 0;
+  while (i < base.size() || j < delta.size()) {
+    if (j >= delta.size() ||
+        (i < base.size() && base.blocks[i] < delta.blocks[j])) {
+      out.blocks.push_back(base.blocks[i]);
+      out.words.push_back(base.words[i]);
+      ++i;
+    } else if (i >= base.size() || delta.blocks[j] < base.blocks[i]) {
+      out.blocks.push_back(delta.blocks[j]);
+      out.words.push_back(delta.words[j]);
+      ++j;
+    } else {
+      out.blocks.push_back(base.blocks[i]);
+      out.words.push_back(base.words[i] | delta.words[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Enumerates the distinct items of an item bitmap in ascending order —
+/// the select side of the rank-select pairing.
+class ItemCursor {
+ public:
+  explicit ItemCursor(const BitmapView& bitmap) : bitmap_(bitmap) {
+    Advance();
+  }
+
+  bool Done() const { return done_; }
+  std::uint64_t Item() const { return item_; }
+  std::size_t Index() const { return index_; }
+
+  void Next() {
+    ++index_;
+    Advance();
+  }
+
+ private:
+  void Advance() {
+    while (block_ < bitmap_.size() && word_ == 0) {
+      word_ = bitmap_.words[block_];
+      if (word_ == 0) ++block_;  // never happens for well-formed bitmaps
+    }
+    if (block_ >= bitmap_.size()) {
+      done_ = true;
+      return;
+    }
+    const int bit = std::countr_zero(word_);
+    word_ &= word_ - 1;
+    item_ = bitmap_.blocks[block_] * 64 + static_cast<std::uint64_t>(bit);
+    if (word_ == 0) ++block_;
+  }
+
+  BitmapView bitmap_;
+  std::size_t block_ = 0;
+  std::uint64_t word_ = 0;
+  std::uint64_t item_ = 0;
+  std::size_t index_ = 0;
+  bool done_ = false;
+};
+
 }  // namespace
 
-BlockBitmap BlockBitmap::Build(const std::vector<std::uint64_t>& sorted_keys) {
+BlockBitmap BlockBitmap::Build(std::span<const std::uint64_t> sorted_keys) {
   BlockBitmap bitmap;
   for (const std::uint64_t key : sorted_keys) {
     const std::uint64_t block = key >> 6;
@@ -110,8 +209,20 @@ BlockBitmap BlockBitmap::Build(const std::vector<std::uint64_t>& sorted_keys) {
   return bitmap;
 }
 
-ScoreIndex ScoreIndex::Build(const std::vector<ActionKey>& sorted_actions) {
-  ScoreIndex index;
+ScoreIndex ScoreIndexData::View() const {
+  ScoreIndex view;
+  view.actions = BitmapView(actions);
+  view.items = BitmapView(items);
+  view.item_rank = {item_rank.data(), item_rank.size()};
+  view.item_counts = {item_counts.data(), item_counts.size()};
+  view.item_offsets = {item_offsets.data(), item_offsets.size()};
+  view.tag_sig_a = {tag_sig_a.data(), tag_sig_a.size()};
+  view.tag_sig_b = {tag_sig_b.data(), tag_sig_b.size()};
+  return view;
+}
+
+ScoreIndexData ScoreIndexData::Build(std::span<const ActionKey> sorted_actions) {
+  ScoreIndexData index;
   index.actions = BlockBitmap::Build(sorted_actions);
   std::vector<std::uint64_t> items;
   for (std::size_t i = 0; i < sorted_actions.size(); ++i) {
@@ -136,37 +247,94 @@ ScoreIndex ScoreIndex::Build(const std::vector<ActionKey>& sorted_actions) {
   index.tag_sig_a.assign(item_count * 2, 0);
   index.tag_sig_b.assign(item_count * 2, 0);
   for (std::size_t it = 0; it < item_count; ++it) {
-    const std::uint32_t begin = index.item_offsets[it];
-    const std::uint32_t end = index.item_offsets[it + 1];
-    if (end - begin > kTagSigLanes) continue;
-    std::uint64_t sig_a[2] = {~std::uint64_t{0}, ~std::uint64_t{0}};
-    std::uint64_t sig_b[2] = {0xfffefffefffefffeULL, 0xfffefffefffefffeULL};
-    bool packable = true;
-    for (std::uint32_t o = begin; o < end; ++o) {
-      const TagId tag = ActionTag(sorted_actions[o]);
-      if (tag > kTagSigMaxTag) {
-        packable = false;
-        break;
-      }
-      const std::uint32_t lane = o - begin;
-      const std::uint64_t clear = ~(std::uint64_t{0xffff} << (16 * (lane & 3)));
-      const std::uint64_t set = static_cast<std::uint64_t>(tag)
-                                << (16 * (lane & 3));
-      sig_a[lane >> 2] = (sig_a[lane >> 2] & clear) | set;
-      sig_b[lane >> 2] = (sig_b[lane >> 2] & clear) | set;
-    }
-    if (!packable) continue;
-    index.tag_sig_a[it * 2] = sig_a[0];
-    index.tag_sig_a[it * 2 + 1] = sig_a[1];
-    index.tag_sig_b[it * 2] = sig_b[0];
-    index.tag_sig_b[it * 2 + 1] = sig_b[1];
+    PackTagSignature(sorted_actions, index.item_offsets[it],
+                     index.item_offsets[it + 1], &index.tag_sig_a[it * 2],
+                     &index.tag_sig_b[it * 2]);
   }
   return index;
 }
 
-std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b) {
-  const BlockBitmap& small = a.size() <= b.size() ? a : b;
-  const BlockBitmap& large = a.size() <= b.size() ? b : a;
+ScoreIndexData ScoreIndexData::Fold(const ScoreIndex& base,
+                                    std::span<const ActionKey> delta,
+                                    std::span<const ActionKey> merged_actions) {
+  ScoreIndexData out;
+
+  // Action bitmap: the delta's action keys are disjoint from the base's, so
+  // the union bitmap is a straight block merge.
+  out.actions =
+      FoldBitmap(base.actions, {delta.begin(), delta.end()});
+
+  // Distinct delta items with their delta action counts.
+  std::vector<std::uint64_t> delta_items;
+  std::vector<std::uint32_t> delta_counts;
+  for (const ActionKey key : delta) {
+    const std::uint64_t item = ActionItem(key);
+    if (delta_items.empty() || delta_items.back() != item) {
+      delta_items.push_back(item);
+      delta_counts.push_back(0);
+    }
+    ++delta_counts.back();
+  }
+
+  out.items = FoldBitmap(base.items, delta_items);
+
+  out.item_rank.reserve(out.items.size());
+  std::uint32_t rank = 0;
+  for (const std::uint64_t word : out.items.words) {
+    out.item_rank.push_back(rank);
+    rank += static_cast<std::uint32_t>(std::popcount(word));
+  }
+
+  // Merge the base's distinct-item stream with the delta's: untouched items
+  // keep their base count, touched items add their delta count, new items
+  // are delta-only. Offsets are the running prefix sum, exactly as Build
+  // accumulates them.
+  const std::size_t total_items = static_cast<std::size_t>(rank);
+  out.item_counts.reserve(total_items);
+  out.item_offsets.reserve(total_items + 1);
+  out.tag_sig_a.assign(total_items * 2, 0);
+  out.tag_sig_b.assign(total_items * 2, 0);
+
+  ItemCursor base_cursor(base.items);
+  std::size_t di = 0;
+  std::uint32_t offset = 0;
+  std::size_t ui = 0;
+  while (!base_cursor.Done() || di < delta_items.size()) {
+    const bool take_base =
+        !base_cursor.Done() &&
+        (di >= delta_items.size() || base_cursor.Item() <= delta_items[di]);
+    const bool take_delta =
+        di < delta_items.size() &&
+        (base_cursor.Done() || delta_items[di] <= base_cursor.Item());
+    std::uint32_t count = 0;
+    if (take_base) count += base.item_counts[base_cursor.Index()];
+    if (take_delta) count += delta_counts[di];
+    out.item_offsets.push_back(offset);
+    out.item_counts.push_back(count);
+    if (take_base && !take_delta) {
+      // Untouched item: its run is unchanged, so its signature is too.
+      const std::size_t bi = base_cursor.Index();
+      out.tag_sig_a[ui * 2] = base.tag_sig_a[bi * 2];
+      out.tag_sig_a[ui * 2 + 1] = base.tag_sig_a[bi * 2 + 1];
+      out.tag_sig_b[ui * 2] = base.tag_sig_b[bi * 2];
+      out.tag_sig_b[ui * 2 + 1] = base.tag_sig_b[bi * 2 + 1];
+    } else {
+      // Touched or new item: repack from the merged run.
+      PackTagSignature(merged_actions, offset, offset + count,
+                       &out.tag_sig_a[ui * 2], &out.tag_sig_b[ui * 2]);
+    }
+    offset += count;
+    ++ui;
+    if (take_base) base_cursor.Next();
+    if (take_delta) ++di;
+  }
+  out.item_offsets.push_back(static_cast<std::uint32_t>(merged_actions.size()));
+  return out;
+}
+
+std::size_t IntersectBitmaps(const BitmapView& a, const BitmapView& b) {
+  const BitmapView& small = a.size() <= b.size() ? a : b;
+  const BitmapView& large = a.size() <= b.size() ? b : a;
   if (small.size() * kGallopSkewRatio < large.size()) {
     return IntersectBlocksGallop(small.blocks.data(), small.words.data(),
                                  small.size(), large.blocks.data(),
@@ -203,10 +371,10 @@ std::size_t KernelIntersectionCount(const Profile& a, const Profile& b) {
 }
 
 bool KernelSharesItem(const Profile& a, const Profile& b) {
-  const BlockBitmap& x = a.index().items;
-  const BlockBitmap& y = b.index().items;
-  const BlockBitmap& small = x.size() <= y.size() ? x : y;
-  const BlockBitmap& large = x.size() <= y.size() ? y : x;
+  const BitmapView& x = a.index().items;
+  const BitmapView& y = b.index().items;
+  const BitmapView& small = x.size() <= y.size() ? x : y;
+  const BitmapView& large = x.size() <= y.size() ? y : x;
   if (small.size() * kGallopSkewRatio < large.size()) {
     std::size_t j = 0;
     for (std::size_t i = 0; i < small.size() && j < large.size(); ++i) {
@@ -247,8 +415,8 @@ PairSimilarity KernelPairSimilarity(const Profile& a, const Profile& b) {
     const bool a_small = na <= nb;
     const ScoreIndex& s = a_small ? ia : ib;
     const ScoreIndex& l = a_small ? ib : ia;
-    const std::vector<ActionKey>& vs = a_small ? a.actions() : b.actions();
-    const std::vector<ActionKey>& vl = a_small ? b.actions() : a.actions();
+    const std::span<const ActionKey> vs = a_small ? a.actions() : b.actions();
+    const std::span<const ActionKey> vl = a_small ? b.actions() : a.actions();
     PairSimilarity oriented;  // oriented to (small, large)
     std::size_t j = 0;
     for (std::size_t i = 0; i < s.items.size() && j < l.items.size(); ++i) {

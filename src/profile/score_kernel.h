@@ -32,11 +32,20 @@
 // and every scenario golden are byte-identical regardless of which code
 // path scored a pair. The randomized differential suite in
 // tests/score_kernel_test.cc enforces this.
+//
+// Storage model: the kernels read *views* (ScoreIndex — spans over packed
+// per-snapshot storage, profile.h); building happens through the owning
+// ScoreIndexData, either from scratch (Build) or by folding a sorted delta
+// into an existing snapshot's index (Fold). Fold is bit-identical to a
+// from-scratch Build of the merged action set — every array is a pure
+// function of the action set, and tests/index_fold_test.cc enforces the
+// equality array-by-array across all SIMD lanes.
 #ifndef P3Q_PROFILE_SCORE_KERNEL_H_
 #define P3Q_PROFILE_SCORE_KERNEL_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/aligned.h"
@@ -62,7 +71,9 @@ struct PairSimilarity {
 
 /// A sorted key set bucketed into 64-key blocks: `blocks[i]` is a distinct
 /// key >> 6 (ascending) and `words[i]` has bit (key & 63) set for every
-/// member key of that block. Storage is 64-byte aligned so the SIMD lanes
+/// member key of that block. Owning form; the kernels themselves consume
+/// BitmapView so packed (arena-backed) snapshots and standalone bitmaps
+/// share one code path. Storage is 64-byte aligned so the SIMD lanes
 /// (score_kernel_simd.h) sweep it with aligned 256/512-bit loads.
 struct BlockBitmap {
   AlignedVector<std::uint64_t> blocks;
@@ -70,8 +81,24 @@ struct BlockBitmap {
 
   std::size_t size() const { return blocks.size(); }
 
-  /// Builds the bitmap of a sorted unique key vector.
-  static BlockBitmap Build(const std::vector<std::uint64_t>& sorted_keys);
+  /// Builds the bitmap of a sorted unique key sequence.
+  static BlockBitmap Build(std::span<const std::uint64_t> sorted_keys);
+};
+
+/// Non-owning view of a block bitmap — what every kernel reads. Packed
+/// snapshot storage (profile.h) and owning BlockBitmaps both project to
+/// this.
+struct BitmapView {
+  std::span<const std::uint64_t> blocks;
+  std::span<const std::uint64_t> words;
+
+  BitmapView() = default;
+  BitmapView(const BlockBitmap& b) : blocks(b.blocks), words(b.words) {}
+  BitmapView(std::span<const std::uint64_t> blocks_in,
+             std::span<const std::uint64_t> words_in)
+      : blocks(blocks_in), words(words_in) {}
+
+  std::size_t size() const { return blocks.size(); }
 };
 
 /// Size ratio past which the kernels switch from the block-merge to
@@ -91,7 +118,7 @@ inline constexpr std::uint32_t kTagSigMaxTag = 0xfffd;
 
 /// Exact |a ∩ b| of two block bitmaps (word-AND + popcount merge; galloping
 /// over the larger side when the sizes are skewed).
-std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b);
+std::size_t IntersectBitmaps(const BitmapView& a, const BitmapView& b);
 
 /// Exact |a ∩ b| of two sorted unique key arrays by galloping: every key of
 /// the smaller side is located in the larger side with an exponential probe
@@ -99,28 +126,28 @@ std::size_t IntersectBitmaps(const BlockBitmap& a, const BlockBitmap& b);
 std::size_t IntersectGalloping(const std::uint64_t* a, std::size_t na,
                                const std::uint64_t* b, std::size_t nb);
 
-/// Per-profile scoring index, built once at snapshot construction alongside
-/// the sorted action vector. Profiles are immutable, so the index is shared
-/// by every replica of the snapshot for free. Distinct items are
-/// represented implicitly by the item bitmap: the i-th set bit (in block,
-/// then bit order) is the i-th distinct item, located by rank-select —
-/// `item_rank[block] + popcount(word & (bit - 1))` — into the aligned
-/// count/offset arrays.
+/// Per-profile scoring index *view*, spanning storage packed alongside the
+/// snapshot's action vector (one arena block per profile — profile.h).
+/// Profiles are immutable, so the index is shared by every replica of the
+/// snapshot for free. Distinct items are represented implicitly by the item
+/// bitmap: the i-th set bit (in block, then bit order) is the i-th distinct
+/// item, located by rank-select — `item_rank[block] + popcount(word &
+/// (bit - 1))` — into the count/offset arrays.
 struct ScoreIndex {
   /// Block bitmap over the packed (item, tag) action keys — drives the
   /// score-only intersection kernel.
-  BlockBitmap actions;
+  BitmapView actions;
   /// Block bitmap over the distinct item ids — drives the shares-an-item
   /// screen and the pair kernel's common-item discovery.
-  BlockBitmap items;
+  BitmapView items;
   /// Per item block: number of distinct items in earlier blocks (the
   /// rank-select base).
-  AlignedVector<std::uint32_t> item_rank;
+  std::span<const std::uint32_t> item_rank;
   /// Per distinct item (ascending): its action count, and the offset of
   /// its action run in the profile's sorted action vector. item_offsets
   /// has one trailing entry holding the total action count.
-  AlignedVector<std::uint32_t> item_counts;
-  AlignedVector<std::uint32_t> item_offsets;
+  std::span<const std::uint32_t> item_counts;
+  std::span<const std::uint32_t> item_offsets;
   /// Per distinct item: a 128-bit *tag signature* (two u64 words, lane l =
   /// bits [16l, 16l+16) of word l/4) holding the run's tags as 16-bit
   /// lanes. Two copies differing only in their pad sentinel are stored —
@@ -132,11 +159,38 @@ struct ScoreIndex {
   /// oversized tag store all-zero words (impossible for a real signature:
   /// its pads are non-zero and a full run's 8 distinct tags can't all be
   /// zero), which tells the kernel to merge the action runs instead.
+  std::span<const std::uint64_t> tag_sig_a;
+  std::span<const std::uint64_t> tag_sig_b;
+};
+
+/// Owning builder-side form of a ScoreIndex. Profile packs the arrays into
+/// one contiguous (optionally arena-backed) block at snapshot construction
+/// and keeps only the view.
+struct ScoreIndexData {
+  BlockBitmap actions;
+  BlockBitmap items;
+  AlignedVector<std::uint32_t> item_rank;
+  AlignedVector<std::uint32_t> item_counts;
+  AlignedVector<std::uint32_t> item_offsets;
   AlignedVector<std::uint64_t> tag_sig_a;
   AlignedVector<std::uint64_t> tag_sig_b;
 
-  /// Builds the index of a sorted unique action vector.
-  static ScoreIndex Build(const std::vector<ActionKey>& sorted_actions);
+  /// View over this owning storage (valid while *this is alive and
+  /// unmodified).
+  ScoreIndex View() const;
+
+  /// Builds the index of a sorted unique action vector from scratch.
+  static ScoreIndexData Build(std::span<const ActionKey> sorted_actions);
+
+  /// Incremental fold: the index of base ∪ delta, computed from the base
+  /// snapshot's existing index plus the (sorted unique, disjoint-from-base)
+  /// delta actions, without re-scanning untouched items. `merged_actions`
+  /// must be the sorted unique union the new snapshot stores — offsets and
+  /// signatures of touched items are read from it. Bit-identical to
+  /// Build(merged_actions).
+  static ScoreIndexData Fold(const ScoreIndex& base,
+                             std::span<const ActionKey> delta,
+                             std::span<const ActionKey> merged_actions);
 };
 
 /// Exact |Profile(a) ∩ Profile(b)| through the action block bitmaps (raw

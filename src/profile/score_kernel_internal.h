@@ -11,7 +11,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "common/types.h"
 #include "profile/score_kernel.h"
@@ -81,9 +81,9 @@ inline std::uint64_t MergeRuns(const ActionKey* a, std::uint32_t na,
 /// match through a hash probe, a dense-table gather or a merge all share
 /// the same accumulation.
 inline void AccumulateMatch(const ScoreIndex& ia,
-                            const std::vector<ActionKey>& va, std::uint64_t aw,
+                            std::span<const ActionKey> va, std::uint64_t aw,
                             std::uint32_t a_rank, const ScoreIndex& ib,
-                            const std::vector<ActionKey>& vb, std::uint64_t bw,
+                            std::span<const ActionKey> vb, std::uint64_t bw,
                             std::uint32_t b_rank, PairSimilarity* sim) {
   std::uint64_t both = aw & bw;
   while (both != 0) {
@@ -105,9 +105,9 @@ inline void AccumulateMatch(const ScoreIndex& ia,
 
 /// AccumulateMatch addressed by block indices into the two item bitmaps.
 inline void AccumulateBlock(const ScoreIndex& ia,
-                            const std::vector<ActionKey>& va, std::size_t i,
+                            std::span<const ActionKey> va, std::size_t i,
                             const ScoreIndex& ib,
-                            const std::vector<ActionKey>& vb, std::size_t j,
+                            std::span<const ActionKey> vb, std::size_t j,
                             PairSimilarity* sim) {
   AccumulateMatch(ia, va, ia.items.words[i], ia.item_rank[i], ib, vb,
                   ib.items.words[j], ib.item_rank[j], sim);

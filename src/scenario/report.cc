@@ -76,6 +76,22 @@ void AppendTimingJson(const PhaseTiming& timing, bool open_loop,
   *out << "}";
 }
 
+/// End-of-run memory footprint. Rides the timing opt-in gate (peak RSS is
+/// process-wide and non-deterministic) and appears only in the totals.
+void AppendMemoryJson(const MemoryReport& m, std::ostringstream* out) {
+  *out << "{\"arena_reserved_bytes\": " << m.arena_reserved_bytes
+       << ", \"arena_used_bytes\": " << m.arena_used_bytes
+       << ", \"arena_slabs\": " << m.arena_slabs
+       << ", \"arena_live_blocks\": " << m.arena_live_blocks
+       << ", \"arena_recycled_slabs\": " << m.arena_recycled_slabs
+       << ", \"pool_hits\": " << m.pool_hits
+       << ", \"pool_misses\": " << m.pool_misses
+       << ", \"peak_pending_depth\": " << m.peak_pending_depth
+       << ", \"pair_cache_entries\": " << m.pair_cache_entries
+       << ", \"pair_cache_evictions\": " << m.pair_cache_evictions
+       << ", \"peak_rss_mb\": " << Num(m.peak_rss_mb, 1) << "}";
+}
+
 /// Renders one latency percentile. A clamped histogram (observations past
 /// the last bucket) adds a `<key>_lower_bound` flag: the true percentile is
 /// >= the reported value, not equal to it. The flag never appears for
@@ -314,6 +330,8 @@ std::string ScenarioReportToJson(const ScenarioReport& report,
   if (include_timing) {
     out << ",\n    \"timing\": ";
     AppendTimingJson(report.total_timing, report.open_loop, &out);
+    out << ",\n    \"memory\": ";
+    AppendMemoryJson(report.memory, &out);
   }
   if (include_trace) {
     out << ",\n    \"trace_events\": ";

@@ -121,6 +121,31 @@ struct PhaseTiming {
   int threads = 1;                 ///< plan-phase worker threads of the run
 };
 
+/// End-of-run memory footprint (P3QSystem::MemoryStats rollup plus the
+/// process peak RSS). Serialized only with the opt-in timing block:
+/// peak_rss_mb is process-wide wall-clock territory, and keeping the whole
+/// block there leaves default reports byte-identical across builds.
+struct MemoryReport {
+  /// Slab-arena footprint summed over the profile store's shards.
+  std::uint64_t arena_reserved_bytes = 0;
+  std::uint64_t arena_used_bytes = 0;
+  std::uint64_t arena_slabs = 0;
+  std::uint64_t arena_live_blocks = 0;
+  std::uint64_t arena_recycled_slabs = 0;
+  /// Snapshot-pool dedup counters (checkpoint restores reuse live
+  /// snapshots instead of rebuilding them).
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Deepest per-user buffered update delta before a fold.
+  std::uint64_t peak_pending_depth = 0;
+  /// Similarity pair-cache population and capacity evictions.
+  std::uint64_t pair_cache_entries = 0;
+  std::uint64_t pair_cache_evictions = 0;
+  /// getrusage(RUSAGE_SELF).ru_maxrss at the end of the run, in MiB
+  /// (0 where unavailable).
+  double peak_rss_mb = 0;
+};
+
 /// Everything measured over one phase.
 struct PhaseReport {
   std::string name;
@@ -204,6 +229,8 @@ struct ScenarioReport {
   /// after the last phase's delta closes).
   Tracer::KindCounts total_trace_events{};
   std::map<std::string, PhaseBreakdown> total_profile;
+  /// End-of-run memory footprint (opt-in timing block only).
+  MemoryReport memory;
 };
 
 /// Runs the scenario at the given scale. Throws std::invalid_argument when

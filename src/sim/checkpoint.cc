@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "profile/profile_store.h"
+
 namespace p3q {
 
 namespace {
@@ -181,7 +183,8 @@ void ProfilePool::Serialize(CheckpointWriter* out) const {
 }
 
 ProfileTable ProfileTable::Deserialize(CheckpointReader* in,
-                                       std::size_t digest_bits) {
+                                       std::size_t digest_bits,
+                                       const ProfileStore* reuse) {
   ProfileTable table;
   const std::uint64_t count = in->Count(16);
   table.profiles_.reserve(static_cast<std::size_t>(count));
@@ -192,8 +195,17 @@ ProfileTable ProfileTable::Deserialize(CheckpointReader* in,
     std::vector<ActionKey> actions;
     actions.reserve(static_cast<std::size_t>(num_actions));
     for (std::uint64_t a = 0; a < num_actions; ++a) actions.push_back(in->U64());
-    table.profiles_.push_back(std::make_shared<const Profile>(
-        owner, std::move(actions), version, digest_bits));
+    ProfilePtr snapshot;
+    if (reuse != nullptr && owner < reuse->NumUsers()) {
+      snapshot = reuse->PoolFind(owner, version, actions);
+    }
+    if (snapshot == nullptr) {
+      snapshot = std::make_shared<const Profile>(
+          owner, std::move(actions), version, digest_bits,
+          reuse != nullptr && owner < reuse->NumUsers() ? reuse->ArenaOf(owner)
+                                                        : nullptr);
+    }
+    table.profiles_.push_back(std::move(snapshot));
   }
   in->Sentinel("profile pool");
   return table;

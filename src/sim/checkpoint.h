@@ -38,6 +38,8 @@
 
 namespace p3q {
 
+class ProfileStore;
+
 /// Typed error for every way a snapshot can fail to load: missing file,
 /// bad magic, unsupported version, checksum mismatch, truncation, or a
 /// semantically invalid field. Messages are human-friendly and name the
@@ -141,10 +143,17 @@ class ProfilePool {
 /// The load-side counterpart: reconstructs every pooled snapshot once (the
 /// Profile constructor deterministically rebuilds digest and score index)
 /// and resolves pool ids back to shared ProfilePtr handles.
+///
+/// When `reuse` is given, each pooled entry is first looked up in the
+/// store's snapshot pool: a live snapshot with the same (owner, version)
+/// and byte-identical action set is shared instead of rebuilt, and cache
+/// misses rebuild into the store's arena shard for that owner — so a
+/// restored system's profile memory lands back on the slab arenas.
 class ProfileTable {
  public:
   static ProfileTable Deserialize(CheckpointReader* in,
-                                  std::size_t digest_bits);
+                                  std::size_t digest_bits,
+                                  const ProfileStore* reuse = nullptr);
 
   /// Resolves a pool id; kNullProfileRef yields a null pointer, anything
   /// else out of range throws.

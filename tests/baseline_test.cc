@@ -54,7 +54,8 @@ TEST(IdealNetworkTest, StoreOverloadSeesUpdatedProfiles) {
   ProfileStore store = trace.dataset().BuildProfileStore(1024);
   const IdealNetworks before = ComputeIdealNetworks(store, 8);
   // Clone user 0's profile onto user 1: they become maximally similar.
-  store.ApplyUpdate(1, store.Get(0)->actions());
+  store.ApplyUpdate(1, std::vector<ActionKey>(store.Get(0)->actions().begin(),
+                                              store.Get(0)->actions().end()));
   const IdealNetworks after = ComputeIdealNetworks(store, 8);
   ASSERT_FALSE(after[0].empty());
   EXPECT_EQ(after[0][0].first, 1u);

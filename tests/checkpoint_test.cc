@@ -162,7 +162,7 @@ TEST(CheckpointCodecTest, ProfilePoolSharesSnapshots) {
   ASSERT_EQ(table.size(), 2u);
   EXPECT_EQ(table.Get(id1)->owner(), p1->owner());
   EXPECT_EQ(table.Get(id1)->version(), p1->version());
-  EXPECT_EQ(table.Get(id1)->actions(), p1->actions());
+  EXPECT_TRUE(std::ranges::equal(table.Get(id1)->actions(), p1->actions()));
   EXPECT_EQ(table.Get(id2)->owner(), p2->owner());
   EXPECT_EQ(table.Get(kNullProfileRef), nullptr);
   EXPECT_THROW(table.Get(2), CheckpointError);

@@ -147,7 +147,8 @@ TEST(ScoreKernelTest, EmptyDisjointIdentical) {
 
   // Same actions, different owners: full overlap.
   const Profile twin_a = RandomProfile(5, 120, 240, 16, 11);
-  std::vector<ActionKey> copy = twin_a.actions();
+  std::vector<ActionKey> copy(twin_a.actions().begin(),
+                              twin_a.actions().end());
   const Profile twin_b(6, std::move(copy), 0, 1024);
   ExpectSameAsScalar(twin_a, twin_b);
   EXPECT_EQ(KernelPairSimilarity(twin_a, twin_b).score, twin_a.Length());

@@ -1,0 +1,146 @@
+// Streaming trace generation (dataset/generator.h, SyntheticTraceStream).
+//
+// The stream is the million-user setup path: the runner feeds each user's
+// actions straight into the ProfileStore without materializing the trace.
+// Its contract is byte-identity with GenerateSyntheticTrace — the n-th
+// streamed action vector IS the n-th dataset row — plus workload
+// equivalence: update batches and queries drawn through a ProfileStore's
+// retained originals must equal the ones drawn through the Dataset. A
+// pinned FNV hash of a fixed (config, seed) stream guards the generator's
+// rng draw order against accidental reordering (every scenario golden
+// depends on it).
+#include "dataset/generator.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "dataset/query_gen.h"
+#include "profile/profile_store.h"
+
+#include "gtest/gtest.h"
+
+namespace p3q {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t FnvMix(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+TEST(TraceStreamTest, StreamEqualsMaterializedTrace) {
+  const SyntheticConfig config = SyntheticConfig::DeliciousLike(300);
+  const std::uint64_t seed = 7;
+  const SyntheticTrace trace = GenerateSyntheticTrace(config, seed);
+  SyntheticTraceStream stream(config, seed);
+  EXPECT_EQ(stream.num_users(), trace.dataset().NumUsers());
+  for (UserId u = 0; !stream.Done(); ++u) {
+    EXPECT_EQ(stream.next_user(), u);
+    const std::vector<ActionKey> streamed = stream.NextUserActions();
+    const std::vector<ActionKey>& materialized = trace.dataset().ActionsOf(u);
+    ASSERT_EQ(streamed.size(), materialized.size()) << "user " << u;
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      ASSERT_EQ(streamed[i], materialized[i])
+          << "user " << u << " action " << i;
+    }
+  }
+  EXPECT_EQ(stream.user_community(), trace.user_community());
+}
+
+TEST(TraceStreamTest, StreamThrowsPastTheEnd) {
+  SyntheticTraceStream stream(SyntheticConfig::DeliciousLike(5), 1);
+  while (!stream.Done()) stream.NextUserActions();
+  EXPECT_THROW(stream.NextUserActions(), std::logic_error);
+}
+
+TEST(TraceStreamTest, UpdateBatchRequiresFullyStreamedTrace) {
+  SyntheticTraceStream stream(SyntheticConfig::DeliciousLike(5), 1);
+  Rng rng(3);
+  const ActionsView empty_view = [](UserId) {
+    return std::span<const ActionKey>{};
+  };
+  EXPECT_THROW(stream.MakeUpdateBatch(UpdateConfig{}, &rng, empty_view),
+               std::logic_error);
+}
+
+// The generator's rng draw order is load-bearing for every scenario golden:
+// pin the whole stream of a fixed (config, seed) under one hash. If this
+// test breaks, the synthetic trace changed — every golden needs review.
+TEST(TraceStreamTest, GoldenTraceStreamPinned) {
+  SyntheticTraceStream stream(SyntheticConfig::DeliciousLike(200), 42);
+  std::uint64_t hash = kFnvOffset;
+  while (!stream.Done()) {
+    const std::vector<ActionKey> actions = stream.NextUserActions();
+    hash = FnvMix(hash, actions.size());
+    for (const ActionKey a : actions) hash = FnvMix(hash, a);
+  }
+  EXPECT_EQ(hash, 314670554143676407ULL) << "golden trace stream hash changed";
+}
+
+// Workload equivalence between the two setup paths: a ProfileStore built
+// from the stream (originals retained) must reproduce the Dataset-backed
+// update batches and queries exactly, even after updates changed the
+// current snapshots.
+TEST(TraceStreamTest, StoreBackedWorkloadMatchesDatasetBacked) {
+  const SyntheticConfig config = SyntheticConfig::DeliciousLike(250);
+  const std::uint64_t seed = 11;
+  const SyntheticTrace trace = GenerateSyntheticTrace(config, seed);
+
+  SyntheticTraceStream stream(config, seed);
+  ProfileStore store;
+  store.RetainOriginals(true);
+  while (!stream.Done()) {
+    const UserId u = stream.next_user();
+    store.AddUser(u, stream.NextUserActions(), 1024);
+  }
+  const ActionsView store_view = [&store](UserId u) {
+    return store.OriginalActionsOf(u);
+  };
+
+  // First storm from identical rng states, through the two views.
+  Rng rng_a(5), rng_b(5);
+  const UpdateBatch from_dataset = trace.MakeUpdateBatch(UpdateConfig{}, &rng_a);
+  const UpdateBatch from_store =
+      stream.MakeUpdateBatch(UpdateConfig{}, &rng_b, store_view);
+  ASSERT_EQ(from_store.updates.size(), from_dataset.updates.size());
+  for (std::size_t i = 0; i < from_store.updates.size(); ++i) {
+    EXPECT_EQ(from_store.updates[i].user, from_dataset.updates[i].user);
+    EXPECT_EQ(from_store.updates[i].new_actions,
+              from_dataset.updates[i].new_actions);
+  }
+
+  // Apply the storm; originals must survive so a second storm and the query
+  // workload still draw against the initial trace.
+  for (const ProfileUpdate& up : from_store.updates) {
+    store.ApplyUpdate(up.user, up.new_actions);
+  }
+  const UpdateBatch second_dataset =
+      trace.MakeUpdateBatch(UpdateConfig{}, &rng_a);
+  const UpdateBatch second_store =
+      stream.MakeUpdateBatch(UpdateConfig{}, &rng_b, store_view);
+  ASSERT_EQ(second_store.updates.size(), second_dataset.updates.size());
+  for (std::size_t i = 0; i < second_store.updates.size(); ++i) {
+    EXPECT_EQ(second_store.updates[i].new_actions,
+              second_dataset.updates[i].new_actions);
+  }
+
+  // Query generation: the span overload over retained originals equals the
+  // Dataset overload, user by user.
+  Rng qa(17), qb(17);
+  for (UserId u = 0; u < static_cast<UserId>(store.NumUsers()); ++u) {
+    const QuerySpec a = GenerateQueryForUser(trace.dataset(), u, &qa);
+    const QuerySpec b = GenerateQueryForUser(store.OriginalActionsOf(u), u, &qb);
+    EXPECT_EQ(a.querier, b.querier);
+    EXPECT_EQ(a.source_item, b.source_item);
+    EXPECT_EQ(a.tags, b.tags);
+  }
+}
+
+}  // namespace
+}  // namespace p3q

@@ -772,6 +772,20 @@ int RunScenarioMode(const Options& opt) {
               << TablePrinter::Fmt(q.FirstResultPercentile(0.50).value, 1)
               << "\n";
   }
+  if (opt.timing) {
+    const MemoryReport& m = report.memory;
+    std::cout << "memory: peak RSS " << TablePrinter::Fmt(m.peak_rss_mb, 1)
+              << " MiB; arenas "
+              << TablePrinter::Fmt(m.arena_used_bytes / 1024.0 / 1024.0, 1)
+              << "/"
+              << TablePrinter::Fmt(m.arena_reserved_bytes / 1024.0 / 1024.0, 1)
+              << " MiB used/reserved in " << m.arena_slabs << " slabs ("
+              << m.arena_live_blocks << " snapshots, "
+              << m.arena_recycled_slabs << " recycled); pool "
+              << m.pool_hits << " hits / " << m.pool_misses
+              << " misses; pair cache " << m.pair_cache_entries
+              << " entries, " << m.pair_cache_evictions << " evicted\n";
+  }
 
   if (!opt.json_path.empty() &&
       !WriteScenarioReportJson(report, opt.json_path, opt.timing)) {
@@ -955,21 +969,25 @@ int main(int argc, char** argv) {
 
   // --- dataset ---
   std::optional<SyntheticTrace> synthetic;
-  Dataset dataset;
+  Dataset file_dataset;
   if (!opt.trace_path.empty()) {
     auto loaded = LoadTaggingTraceFile(opt.trace_path);
     if (!loaded) {
       std::cerr << "cannot load trace: " << opt.trace_path << "\n";
       return 1;
     }
-    dataset = std::move(loaded->dataset);
+    file_dataset = std::move(loaded->dataset);
     std::cout << "loaded trace: " << loaded->user_names.size() << " users ("
               << loaded->skipped_lines << " lines skipped)\n";
   } else {
     synthetic = GenerateSyntheticTrace(
         SyntheticConfig::DeliciousLike(opt.users), opt.seed);
-    dataset = synthetic->dataset();
   }
+  // Borrow, never copy: the trace keeps sole ownership of the action
+  // list. (The scenario mode goes further and streams the trace straight
+  // into the profile store without materializing a Dataset at all.)
+  const Dataset& dataset =
+      synthetic ? synthetic->dataset() : file_dataset;
   const DatasetStats stats = dataset.ComputeStats();
   std::cout << "dataset: " << stats.num_users << " users, " << stats.num_items
             << " items, " << stats.num_tags << " tags, " << stats.num_actions
